@@ -1,0 +1,81 @@
+"""Figure 13 — multi-impairment timelines: mean recovery delay vs
+Oracle-Delay.
+
+Boxplots of ``policy mean recovery delay − Oracle-Delay mean recovery
+delay`` over 50 timelines per scenario.  Headline claims:
+
+* "BA First" is near-optimal (<1 ms gap) when the sweep is cheap but
+  unacceptable (170-250 ms median gap) when it costs 250 ms;
+* "RA First" always recovers fast;
+* LiBRA's median gap stays below ~35 ms everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import SimulationConfig, simulate_timeline
+from repro.sim.oracle import OracleDelay
+from repro.sim.results import boxplot_stats
+from repro.sim.timeline import ScenarioType, TimelineGenerator
+
+CONFIG_GRID = (
+    (0.5e-3, 2e-3),
+    (250e-3, 2e-3),
+    (0.5e-3, 10e-3),
+    (250e-3, 10e-3),
+)
+TIMELINES_PER_SCENARIO = 50
+
+
+def run_panels(main_dataset, make_libra, heuristics):
+    panels = {}
+    for overhead, fat in CONFIG_GRID:
+        config = SimulationConfig(ba_overhead_s=overhead, frame_time_s=fat)
+        policies = dict(heuristics)
+        policies["LiBRA"] = make_libra(overhead, fat)
+        generator = TimelineGenerator(main_dataset, seed=42)
+        panel = {}
+        for scenario in ScenarioType:
+            timelines = generator.batch(scenario, TIMELINES_PER_SCENARIO)
+            gaps = {name: [] for name in policies}
+            for timeline in timelines:
+                oracle = OracleDelay(config, 1.0)
+                _, oracle_delay, _ = simulate_timeline(oracle, timeline, config)
+                for name, policy in policies.items():
+                    _, delay, _ = simulate_timeline(policy, timeline, config)
+                    gaps[name].append((delay - oracle_delay) * 1e3)
+            panel[scenario.value] = {k: np.array(v) for k, v in gaps.items()}
+        panels[(overhead, fat)] = panel
+    return panels
+
+
+def test_fig13_multi_impairment_delay(
+    benchmark, record, main_dataset, make_libra, heuristics
+):
+    panels = benchmark.pedantic(
+        run_panels, args=(main_dataset, make_libra, heuristics),
+        rounds=1, iterations=1,
+    )
+    lines = ["Fig. 13: mean recovery-delay difference vs Oracle-Delay (ms)"]
+    for (overhead, fat), panel in panels.items():
+        lines.append(f"-- BA overhead {overhead * 1e3:g} ms, FAT {fat * 1e3:g} ms")
+        for scenario, gaps in panel.items():
+            for name, values in gaps.items():
+                lines.append(f"   {scenario:>12} {name:>9}: {boxplot_stats(values)}")
+    record("fig13_multi_delay", lines)
+
+    for (overhead, fat), panel in panels.items():
+        pooled = {
+            name: np.concatenate([panel[s.value][name] for s in ScenarioType])
+            for name in panel["mobility"]
+        }
+        libra_median = np.median(pooled["LiBRA"])
+        assert libra_median < 40.0, (overhead, fat)  # paper: ≤35 ms
+
+        if overhead <= 1e-3:
+            # Cheap sweep: BA First is near-optimal on delay (paper <1 ms).
+            assert np.median(pooled["BA First"]) < 5.0, (overhead, fat)
+        else:
+            # 250 ms sweep: BA First's delay gap explodes; LiBRA stays low.
+            assert np.median(pooled["BA First"]) > 100.0, (overhead, fat)
+            assert libra_median < np.median(pooled["BA First"]), (overhead, fat)

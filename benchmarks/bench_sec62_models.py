@@ -1,0 +1,63 @@
+"""§6.2 — ML model comparison.
+
+Paper numbers (accuracy / weighted F1):
+
+* 5-fold CV, repeated: DT 95/95, RF 98/98, SVM 91/91, DNN 95/90;
+* trained on the main building, tested on buildings 1-2:
+  DT 85/85, RF 88/88, SVM 88/88, DNN 83/76.
+"""
+
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.model_selection import repeated_cross_validate, train_test_evaluate
+from repro.ml.nn import DenseNetworkClassifier
+from repro.ml.svm import SVMClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+PAPER_CV = {"DT": (0.95, 0.95), "RF": (0.98, 0.98), "SVM": (0.91, 0.91), "DNN": (0.95, 0.90)}
+PAPER_XB = {"DT": (0.85, 0.85), "RF": (0.88, 0.88), "SVM": (0.88, 0.88), "DNN": (0.83, 0.76)}
+
+MODEL_FACTORIES = {
+    "DT": lambda: DecisionTreeClassifier(max_depth=10),
+    "RF": lambda: RandomForestClassifier(n_estimators=60, max_depth=14, random_state=1),
+    "SVM": lambda: SVMClassifier(C=5.0),
+    "DNN": lambda: DenseNetworkClassifier(epochs=100, random_state=1),
+}
+
+
+def _evaluate(main_dataset, testing_dataset):
+    X, y = main_dataset.feature_matrix(), main_dataset.labels()
+    X_test, y_test = testing_dataset.feature_matrix(), testing_dataset.labels()
+    rows = {}
+    for name, factory in MODEL_FACTORIES.items():
+        cv = repeated_cross_validate(factory, X, y, n_splits=5, repeats=3, random_state=0)
+        xb = train_test_evaluate(factory(), X, y, X_test, y_test)
+        rows[name] = (cv.mean_accuracy, cv.mean_f1, xb[0], xb[1])
+    return rows
+
+
+def test_sec62_model_comparison(benchmark, record, main_dataset, testing_dataset):
+    rows = benchmark.pedantic(
+        _evaluate, args=(main_dataset, testing_dataset), rounds=1, iterations=1
+    )
+    lines = [
+        "§6.2: model accuracy / weighted F1 (measured vs paper)",
+        f"{'model':>5} | {'CV acc':>15} | {'CV F1':>15} | {'XB acc':>15} | {'XB F1':>15}",
+    ]
+    for name, (cv_acc, cv_f1, xb_acc, xb_f1) in rows.items():
+        p_cv, p_xb = PAPER_CV[name], PAPER_XB[name]
+        lines.append(
+            f"{name:>5} | {cv_acc:.3f} vs {p_cv[0]:.2f} | {cv_f1:.3f} vs {p_cv[1]:.2f}"
+            f" | {xb_acc:.3f} vs {p_xb[0]:.2f} | {xb_f1:.3f} vs {p_xb[1]:.2f}"
+        )
+    record("sec62_models", lines)
+
+    # Every model must be far above the majority-class baseline and lose
+    # some accuracy cross-building (the paper's qualitative finding).
+    for name, (cv_acc, _cv_f1, xb_acc, _xb_f1) in rows.items():
+        assert cv_acc > 0.80, name
+        assert xb_acc > 0.70, name
+        assert xb_acc <= cv_acc + 0.03, name  # transfer does not improve
+    # Tree ensembles are competitive with (or better than) the single tree.
+    assert rows["RF"][0] >= rows["DT"][0] - 0.02

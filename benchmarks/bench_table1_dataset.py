@@ -1,0 +1,46 @@
+"""Table 1 — main/training dataset summary.
+
+Paper values: Displacement 479 (380 BA / 99 RA, 94 positions), Blockage 81
+(72/9, 12), Interference 108 (36/72, 12), Overall 668 (488/180, 118).
+"""
+
+from repro.dataset.builder import build_main_dataset
+
+PAPER = {
+    "displacement": {"total": 479, "BA": 380, "RA": 99, "positions": 94},
+    "blockage": {"total": 81, "BA": 72, "RA": 9, "positions": 12},
+    "interference": {"total": 108, "BA": 36, "RA": 72, "positions": 12},
+    "overall": {"total": 668, "BA": 488, "RA": 180, "positions": 118},
+}
+
+
+def _format_rows(summary) -> list[str]:
+    lines = [
+        "Table 1: main/training dataset summary (measured vs paper)",
+        f"{'scenario':>14} | {'total':>11} | {'BA':>9} | {'RA':>9} | {'positions':>11}",
+    ]
+    for scenario, paper_row in PAPER.items():
+        measured = summary[scenario]
+        lines.append(
+            f"{scenario:>14} | "
+            f"{measured['total']:>4} vs {paper_row['total']:>4} | "
+            f"{measured['BA']:>3} vs {paper_row['BA']:>3} | "
+            f"{measured['RA']:>3} vs {paper_row['RA']:>3} | "
+            f"{measured['positions']:>4} vs {paper_row['positions']:>4}"
+        )
+    return lines
+
+
+def test_table1_main_dataset(benchmark, record):
+    dataset = benchmark.pedantic(build_main_dataset, rounds=1, iterations=1)
+    summary = dataset.summary()
+    record("table1_dataset", _format_rows(summary))
+
+    # Shape assertions: totals within ~15 %, class balance directions right.
+    for scenario, paper_row in PAPER.items():
+        measured = summary[scenario]
+        assert abs(measured["total"] - paper_row["total"]) / paper_row["total"] < 0.15
+    assert summary["displacement"]["BA"] > summary["displacement"]["RA"]
+    assert summary["blockage"]["BA"] > 5 * summary["blockage"]["RA"] / 2
+    assert summary["interference"]["RA"] > summary["interference"]["BA"]
+    assert summary["overall"]["BA"] > summary["overall"]["RA"]

@@ -1,0 +1,39 @@
+"""Table 2 — cross-building testing dataset summary.
+
+Paper values: Displacement 165 (129 BA / 36 RA, 34 positions), Blockage 27
+(24/3, 4), Interference 36 (12/24, 4), Overall 228 (165/63, 42).
+"""
+
+from repro.dataset.builder import build_testing_dataset
+
+PAPER = {
+    "displacement": {"total": 165, "BA": 129, "RA": 36, "positions": 34},
+    "blockage": {"total": 27, "BA": 24, "RA": 3, "positions": 4},
+    "interference": {"total": 36, "BA": 12, "RA": 24, "positions": 4},
+    "overall": {"total": 228, "BA": 165, "RA": 63, "positions": 42},
+}
+
+
+def test_table2_testing_dataset(benchmark, record):
+    dataset = benchmark.pedantic(build_testing_dataset, rounds=1, iterations=1)
+    summary = dataset.summary()
+    lines = [
+        "Table 2: testing dataset summary (measured vs paper)",
+        f"{'scenario':>14} | {'total':>11} | {'BA':>9} | {'RA':>9} | {'positions':>9}",
+    ]
+    for scenario, paper_row in PAPER.items():
+        measured = summary[scenario]
+        lines.append(
+            f"{scenario:>14} | "
+            f"{measured['total']:>4} vs {paper_row['total']:>4} | "
+            f"{measured['BA']:>3} vs {paper_row['BA']:>3} | "
+            f"{measured['RA']:>3} vs {paper_row['RA']:>3} | "
+            f"{measured['positions']:>3} vs {paper_row['positions']:>3}"
+        )
+    record("table2_testing", lines)
+
+    assert abs(summary["overall"]["total"] - 228) / 228 < 0.20
+    assert summary["displacement"]["BA"] > summary["displacement"]["RA"]
+    assert summary["interference"]["RA"] > summary["interference"]["BA"]
+    assert summary["blockage"]["positions"] == 4
+    assert summary["interference"]["positions"] == 4

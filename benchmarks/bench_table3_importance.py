@@ -1,0 +1,46 @@
+"""Table 3 — Gini importance of each PHY metric.
+
+Paper values: SNR 0.215, ToF 0.08, Noise 0.16, PDP 0.06, CSI 0.12,
+CDR 0.125, Initial MCS 0.26.  The paper's own caveat applies verbatim to
+this reproduction: "the metric selection depends on the used hardware" —
+our substrate yields a different ranking (CDR leads; initial MCS trails)
+while preserving the headline property that no metric dominates and all
+contribute.  EXPERIMENTS.md discusses the differences.
+"""
+
+import pytest
+
+from repro.core.metrics import FEATURE_NAMES
+from repro.ml.forest import RandomForestClassifier
+
+PAPER = {
+    "snr_diff_db": 0.215,
+    "tof_diff_ns": 0.08,
+    "noise_diff_db": 0.16,
+    "pdp_similarity": 0.06,
+    "csi_similarity": 0.12,
+    "cdr": 0.125,
+    "initial_mcs": 0.26,
+}
+
+
+def test_table3_gini_importance(benchmark, record, main_dataset):
+    def train():
+        model = RandomForestClassifier(n_estimators=80, max_depth=14, random_state=0)
+        model.fit(main_dataset.feature_matrix(), main_dataset.labels())
+        return model.gini_importance()
+
+    importances = benchmark.pedantic(train, rounds=1, iterations=1)
+    table = dict(zip(FEATURE_NAMES, importances))
+    lines = ["Table 3: Gini importance (measured vs paper)"]
+    for name in FEATURE_NAMES:
+        lines.append(f"{name:>16}: {table[name]:.3f} vs {PAPER[name]:.3f}")
+    record("table3_importance", lines)
+
+    assert abs(sum(table.values()) - 1.0) < 1e-9
+    assert max(table.values()) < 0.6  # "no metric has a very high value"
+    assert min(table.values()) > 0.01  # "all metrics are useful"
+    # SNR stays among the informative metrics, ToF among the weaker ones.
+    ranked = sorted(table, key=table.get, reverse=True)
+    assert "snr_diff_db" in ranked[:4]
+    assert table["tof_diff_ns"] < max(table.values())

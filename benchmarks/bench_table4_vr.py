@@ -1,0 +1,81 @@
+"""Table 4 — 8K/60FPS VR over mobility timelines: stall duration & count.
+
+The paper's numbers (avg stall duration ms / avg number of stalls):
+
+==================  ========  ========  =======  ===========  ============
+BA overhead, FAT    BA First  RA First  LiBRA    Oracle-Data  Oracle-Delay
+==================  ========  ========  =======  ===========  ============
+0.5 ms, 2 ms        16/46.4   16/97.5   16/0.1   0/0          16/46.5
+250 ms, 2 ms        49/51.4   21.7/97.3 240/6.1  236.7/6.1    21.4/97.3
+==================  ========  ========  =======  ===========  ============
+
+Headline shape: LiBRA has far *fewer* stalls than both heuristics (at the
+cost of longer individual stalls when the sweep is slow), and neither
+oracle wins outright — throughput- and delay-optimality conflict for real
+applications (§8.4).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import SimulationConfig
+from repro.sim.oracle import OracleData, OracleDelay
+from repro.sim.timeline import ScenarioType, TimelineGenerator
+from repro.sim.vr import profile_from_timeline, simulate_vr_session, synthesize_trace
+
+CONFIG_GRID = ((0.5e-3, 2e-3), (0.5e-3, 10e-3), (250e-3, 2e-3), (250e-3, 10e-3))
+NUM_TIMELINES = 50
+
+
+def run_table(main_dataset, make_libra, heuristics):
+    trace = synthesize_trace()
+    table = {}
+    for overhead, fat in CONFIG_GRID:
+        config = SimulationConfig(ba_overhead_s=overhead, frame_time_s=fat)
+        policies = dict(heuristics)
+        policies["LiBRA"] = make_libra(overhead, fat)
+        policies["Oracle-Data"] = OracleData(config, 1.0)
+        policies["Oracle-Delay"] = OracleDelay(config, 1.0)
+        generator = TimelineGenerator(main_dataset, seed=7)
+        timelines = generator.batch(ScenarioType.MOBILITY, NUM_TIMELINES)
+        row = {}
+        for name, policy in policies.items():
+            durations, counts = [], []
+            for timeline in timelines:
+                profile = profile_from_timeline(policy, timeline, config)
+                result = simulate_vr_session(profile, trace)
+                durations.append(result.mean_stall_duration_ms)
+                counts.append(result.num_stalls)
+            row[name] = (float(np.mean(durations)), float(np.mean(counts)))
+        table[(overhead, fat)] = row
+    return table
+
+
+def test_table4_vr_stalls(benchmark, record, main_dataset, make_libra, heuristics):
+    table = benchmark.pedantic(
+        run_table, args=(main_dataset, make_libra, heuristics),
+        rounds=1, iterations=1,
+    )
+    lines = ["Table 4: VR stall duration (ms) / number of stalls (mean over 50 runs)"]
+    for (overhead, fat), row in table.items():
+        lines.append(f"-- BA overhead {overhead * 1e3:g} ms, FAT {fat * 1e3:g} ms")
+        for name, (duration, count) in row.items():
+            lines.append(f"   {name:>12}: {duration:7.1f} ms / {count:6.2f} stalls")
+    record("table4_vr", lines)
+
+    for (overhead, fat), row in table.items():
+        # LiBRA stalls less often than RA First (the paper's key QoE win).
+        assert row["LiBRA"][1] <= row["RA First"][1] + 0.5, (overhead, fat)
+        # Oracle-Data has the fewest stalls of all.
+        fewest = min(count for _, count in row.values())
+        assert row["Oracle-Data"][1] <= fewest + 0.5, (overhead, fat)
+
+    # With a cheap sweep, everyone's stall durations are comparable and
+    # LiBRA's stall *count* is dramatically lower than the heuristics'.
+    cheap = table[(0.5e-3, 2e-3)]
+    assert cheap["LiBRA"][1] < 0.7 * cheap["RA First"][1] + 0.5
+
+    # With a 250 ms sweep, BA-ish policies trade longer individual stalls
+    # for fewer of them (the paper's Oracle-Data shows 236.7 ms / 6.1).
+    slow = table[(250e-3, 2e-3)]
+    assert slow["Oracle-Data"][1] <= slow["Oracle-Delay"][1]

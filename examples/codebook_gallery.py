@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Inspect the emulated SiBeam codebook: the imperfections that drive §3.
+
+Renders every beam's azimuth pattern as a density strip, then quantifies
+the two imperfections the reproduction leans on — large side lobes and
+per-beam gain variation — and shows how they shape one concrete link.
+
+Run:  python examples/codebook_gallery.py
+"""
+
+import numpy as np
+
+from repro.env.geometry import Point
+from repro.env.placement import RadioPose
+from repro.env.rooms import make_lobby
+from repro.phy.antenna import sibeam_codebook
+from repro.phy.channel import snr_matrix_db
+from repro.testbed.x60 import X60Link
+from repro.viz.ascii import codebook_gallery
+
+
+def main() -> None:
+    codebook = sibeam_codebook()
+    print("The 25-beam codebook (azimuth -180°..180°, darker = more gain):\n")
+    for line in codebook_gallery(codebook, width=72):
+        print(line)
+
+    peaks = [beam.gain_dbi(beam.steering_deg) for beam in codebook]
+    print(
+        f"\nrealised peak gains: {min(peaks):.1f} .. {max(peaks):.1f} dBi "
+        f"(spread {max(peaks) - min(peaks):.1f} dB)"
+    )
+    side_lobe_counts = [len(beam.side_lobes) for beam in codebook]
+    print(
+        f"side lobes per beam: {min(side_lobe_counts)}-{max(side_lobe_counts)}, "
+        "levels 6-14 dB below the main lobe — 'large side lobes', §4.1"
+    )
+
+    # One concrete link: the full 25x25 SNR matrix a sector sweep sees.
+    room = make_lobby()
+    link = X60Link(room, RadioPose(Point(2.0, 6.0), 0.0))
+    rx = RadioPose(Point(10.0, 6.0), 180.0)
+    state = link.channel_state(rx)
+    matrix = snr_matrix_db(state, codebook, 0.0, 180.0, link.tx_power_dbm)
+    best = np.unravel_index(np.argmax(matrix), matrix.shape)
+    within_3db = int(np.sum(matrix > matrix.max() - 3.0))
+    within_6db = int(np.sum(matrix > matrix.max() - 6.0))
+    print(
+        f"\n10 m lobby link: best pair {tuple(int(v) for v in best)} at "
+        f"{matrix.max():.1f} dB; {within_3db} pair(s) within 3 dB and "
+        f"{within_6db} within 6 dB of it — the overlapping main lobes put "
+        "several pairs within a noisy sweep estimate of the winner, which "
+        "is what makes sector selection flap on real devices."
+    )
+
+
+if __name__ == "__main__":
+    main()

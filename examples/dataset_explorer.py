@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Build, inspect, persist, and relabel the measurement dataset.
+
+Walks the full §4-§5 pipeline: the measurement campaign over the six
+main-building environments, the Table-1 accounting, the per-metric class
+statistics behind Figs. 4-9, a save/load round trip, and ground-truth
+relabelling under a different (α, BA overhead) operating point.
+
+Run:  python examples/dataset_explorer.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    GroundTruthConfig,
+    build_main_dataset,
+    load_dataset,
+    save_dataset,
+)
+from repro.core.metrics import FEATURE_NAMES
+from repro.dataset.entry import ImpairmentKind
+
+
+def main() -> None:
+    print("Running the measurement campaign (six environments)…")
+    dataset = build_main_dataset()
+
+    print("\nTable-1-style summary:")
+    for scenario, row in dataset.summary().items():
+        print(
+            f"  {scenario:>13}: {row['total']:4d} entries "
+            f"({row['BA']:3d} BA / {row['RA']:3d} RA) at {row['positions']} positions"
+        )
+
+    print("\nPer-metric medians by winning mechanism (the Figs. 4-9 story):")
+    X = dataset.feature_matrix()
+    labels = dataset.labels()
+    for index, name in enumerate(FEATURE_NAMES):
+        ba = np.median(X[labels == "BA", index])
+        ra = np.median(X[labels == "RA", index])
+        print(f"  {name:>16}: BA median {ba:8.2f} | RA median {ra:8.2f}")
+
+    print("\nWhy no single threshold works — SNR-drop overlap:")
+    snr = X[:, FEATURE_NAMES.index("snr_diff_db")]
+    for low, high in ((0, 5), (5, 10), (10, 20), (20, 40)):
+        in_band = (snr >= low) & (snr < high)
+        if in_band.sum() == 0:
+            continue
+        ba_share = np.mean(labels[in_band] == "BA")
+        print(
+            f"  drop {low:2d}-{high:2d} dB: {in_band.sum():3d} entries, "
+            f"{ba_share:4.0%} BA — {'separable' if ba_share > 0.95 or ba_share < 0.05 else 'mixed'}"
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "main.jsonl"
+        save_dataset(dataset, path)
+        again = load_dataset(path)
+        print(
+            f"\nRound trip through {path.name}: {len(again)} entries, "
+            f"labels identical: {(again.labels() == labels).all()}"
+        )
+
+    print("\nRelabelling under a delay-weighted, slow-sweep operating point:")
+    slow = GroundTruthConfig(alpha=0.5, ba_overhead_s=250e-3)
+    relabelled = dataset.labels(slow)
+    flipped = int(np.sum(relabelled != labels))
+    print(
+        f"  α=0.5, d_BA=250 ms: {flipped} of {len(labels)} labels flip "
+        f"(BA share {np.mean(labels == 'BA'):.0%} → {np.mean(relabelled == 'BA'):.0%})"
+    )
+    print(
+        "  — the same traces support every §8 operating point without "
+        "re-running the testbed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""The §8 evaluation in miniature: LiBRA vs heuristics vs oracles.
+
+Trains LiBRA on the main-building dataset, then replays the cross-building
+testing dataset (single impairments, §8.2) and a batch of mixed-impairment
+timelines (§8.3) under two BA-overhead operating points.
+
+Run:  python examples/libra_vs_heuristics.py
+"""
+
+import numpy as np
+
+from repro import (
+    BAFirstPolicy,
+    DatasetBuildConfig,
+    LiBRA,
+    RAFirstPolicy,
+    RandomForestClassifier,
+    ScenarioType,
+    SimulationConfig,
+    TimelineGenerator,
+    build_main_dataset,
+    build_testing_dataset,
+    simulate_flow,
+    simulate_timeline,
+)
+from repro.sim.oracle import OracleData, OracleDelay
+
+
+def train_libra(dataset) -> LiBRA:
+    model = RandomForestClassifier(n_estimators=60, max_depth=14, random_state=0)
+    model.fit(dataset.feature_matrix(), dataset.labels())
+    return LiBRA(model)
+
+
+def single_impairments(libra, testing, config) -> None:
+    duration = 1.0
+    policies = {"LiBRA": libra, "BA First": BAFirstPolicy(), "RA First": RAFirstPolicy()}
+    oracle_data = OracleData(config, duration)
+    oracle_delay = OracleDelay(config, duration)
+    byte_gaps = {name: [] for name in policies}
+    delay_gaps = {name: [] for name in policies}
+    for entry in testing.without_na():
+        best_bytes = simulate_flow(oracle_data, entry, config, duration)
+        best_delay = simulate_flow(oracle_delay, entry, config, duration)
+        for name, policy in policies.items():
+            result = simulate_flow(policy, entry, config, duration)
+            byte_gaps[name].append(
+                (best_bytes.bytes_delivered - result.bytes_delivered) / 1e6
+            )
+            delay_gaps[name].append(
+                (result.recovery_delay_s - best_delay.recovery_delay_s) * 1e3
+            )
+    for name in policies:
+        bytes_arr = np.array(byte_gaps[name])
+        delay_arr = np.array(delay_gaps[name])
+        print(
+            f"    {name:>9}: matches Oracle-Data {np.mean(bytes_arr <= 1.0):4.0%}, "
+            f"mean byte gap {bytes_arr.mean():6.1f} MB, "
+            f"delay within 5 ms of Oracle-Delay {np.mean(delay_arr <= 5.0):4.0%}"
+        )
+
+
+def mixed_timelines(libra, main, config) -> None:
+    generator = TimelineGenerator(main, seed=11)
+    timelines = generator.batch(ScenarioType.MIXED, count=25)
+    policies = {"LiBRA": libra, "BA First": BAFirstPolicy(), "RA First": RAFirstPolicy()}
+    ratios = {name: [] for name in policies}
+    delays = {name: [] for name in policies}
+    for timeline in timelines:
+        oracle = OracleData(config, 1.0)
+        oracle_bytes, _, _ = simulate_timeline(oracle, timeline, config)
+        for name, policy in policies.items():
+            policy_bytes, delay, _ = simulate_timeline(policy, timeline, config)
+            ratios[name].append(policy_bytes / oracle_bytes)
+            delays[name].append(delay * 1e3)
+    for name in policies:
+        print(
+            f"    {name:>9}: median {np.median(ratios[name]):5.0%} of oracle bytes, "
+            f"mean recovery delay {np.mean(delays[name]):6.1f} ms"
+        )
+
+
+def main() -> None:
+    print("Training on the main building, testing on buildings 1-2…")
+    main_ds = build_main_dataset(DatasetBuildConfig(include_na=True))
+    testing = build_testing_dataset()
+    libra = train_libra(main_ds)
+
+    for overhead in (5e-3, 250e-3):
+        config = SimulationConfig(ba_overhead_s=overhead, frame_time_s=2e-3)
+        print(f"\n== BA overhead {overhead * 1e3:g} ms, FAT 2 ms ==")
+        print("  single impairments (§8.2):")
+        single_impairments(libra, testing, config)
+        print("  mixed timelines (§8.3):")
+        mixed_timelines(libra, main_ds, config)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The §3 motivation study, live: watch COTS firmware heuristics misbehave.
+
+Reproduces the three controlled experiments of the paper's Figs. 1-3 with
+the firmware-heuristic device models — a trigger-happy phone, a steadier
+AP, and the manually-locked-sector baseline.
+
+Run:  python examples/motivation_cots.py
+"""
+
+from repro.cots.device import (
+    AP_PROFILE,
+    PHONE_PROFILE,
+    run_blockage_session,
+    run_mobility_session,
+    run_static_session,
+)
+
+
+def sector_timeline(log, width: int = 60) -> str:
+    """A compact ASCII strip of the Tx sector over the session."""
+    if not log.sectors:
+        return "(empty)"
+    step = max(1, len(log.sectors) // width)
+    samples = log.sectors[::step][:width]
+    glyphs = []
+    for sector in samples:
+        glyphs.append("X" if sector == 255 else chr(ord("a") + sector % 26))
+    return "".join(glyphs)
+
+
+def main() -> None:
+    print("=== Fig. 1: static client, 30 s ===")
+    phone = run_static_session(duration_s=30.0, profile=PHONE_PROFILE, seed=0)
+    ap = run_static_session(duration_s=30.0, profile=AP_PROFILE, seed=0)
+    locked = run_static_session(duration_s=30.0, ba_enabled=False, seed=0)
+    print(f"phone  sectors: {sector_timeline(phone)}")
+    print(f"AP     sectors: {sector_timeline(ap)}")
+    print(
+        f"phone: {phone.ba_count} BA triggers across "
+        f"{phone.distinct_sectors()} sectors; AP: {ap.ba_count} triggers"
+    )
+    print(
+        f"throughput with BA {ap.throughput_mbps:.0f} Mbps, locked best sector "
+        f"{locked.throughput_mbps:.0f} Mbps "
+        f"({locked.throughput_mbps / ap.throughput_mbps - 1:+.0%}, paper: +26 %)"
+    )
+
+    print("\n=== Fig. 2: human blocking the LOS, 30 s ===")
+    blocked = run_blockage_session(duration_s=30.0, profile=AP_PROFILE, seed=2)
+    locked = run_blockage_session(duration_s=30.0, ba_enabled=False, seed=2)
+    print(f"AP sectors under blockage: {sector_timeline(blocked)}")
+    print(
+        f"throughput with BA {blocked.throughput_mbps:.0f} Mbps, locked NLOS "
+        f"sector {locked.throughput_mbps:.0f} Mbps "
+        f"({locked.throughput_mbps / blocked.throughput_mbps - 1:+.0%}, paper: +16 %)"
+    )
+
+    print("\n=== Fig. 3: walking away from the AP, 15 s ===")
+    moving = run_mobility_session(duration_s=15.0, ba_enabled=True, seed=3)
+    locked = run_mobility_session(duration_s=15.0, ba_enabled=False, seed=3)
+    print(f"sectors while walking:     {sector_timeline(moving)}")
+    print(
+        f"throughput with BA {moving.throughput_mbps:.0f} Mbps, start-locked "
+        f"sector {locked.throughput_mbps:.0f} Mbps "
+        f"({moving.throughput_mbps / locked.throughput_mbps - 1:+.0%}, paper: +15 %)"
+    )
+    print(
+        "\nConclusion (the paper's §3): the same heuristic that wastes 10-25 % "
+        "of a static link's capacity is the only thing keeping a mobile link "
+        "alive — when to adapt, and how, is the hard question LiBRA answers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""8K VR over a mobile 60 GHz link (§8.4, Table 4).
+
+A 30 s, 60 FPS, ~1.2 Gbps VR scene plays over a link whose bandwidth
+follows a mobility timeline; each link-adaptation policy produces a
+different bandwidth profile and hence a different stall pattern.
+
+Run:  python examples/vr_streaming.py
+"""
+
+import numpy as np
+
+from repro import (
+    BAFirstPolicy,
+    DatasetBuildConfig,
+    LiBRA,
+    RAFirstPolicy,
+    RandomForestClassifier,
+    ScenarioType,
+    SimulationConfig,
+    TimelineGenerator,
+    build_main_dataset,
+)
+from repro.sim.oracle import OracleData, OracleDelay
+from repro.sim.vr import profile_from_timeline, simulate_vr_session, synthesize_trace
+
+
+def main() -> None:
+    print("Preparing: dataset, LiBRA, and the Viking-Village-like trace…")
+    dataset = build_main_dataset(DatasetBuildConfig(include_na=True))
+    model = RandomForestClassifier(n_estimators=60, max_depth=14, random_state=0)
+    model.fit(dataset.feature_matrix(), dataset.labels())
+    trace = synthesize_trace()
+    print(
+        f"  scene: {trace.num_frames} frames at {trace.fps} FPS, "
+        f"{trace.frame_bytes.sum() * 8 / 30 / 1e6:.0f} Mbps average demand"
+    )
+
+    config = SimulationConfig(ba_overhead_s=0.5e-3, frame_time_s=2e-3)
+    policies = {
+        "LiBRA": LiBRA(model),
+        "BA First": BAFirstPolicy(),
+        "RA First": RAFirstPolicy(),
+        "Oracle-Data": OracleData(config, 1.0),
+        "Oracle-Delay": OracleDelay(config, 1.0),
+    }
+
+    generator = TimelineGenerator(dataset, seed=7)
+    timelines = generator.batch(ScenarioType.MOBILITY, count=20)
+    print(f"\nPlaying the scene over {len(timelines)} mobility timelines each:")
+    print(f"{'policy':>12} | {'avg stalls':>10} | {'avg stall duration':>18}")
+    for name, policy in policies.items():
+        counts, durations = [], []
+        for timeline in timelines:
+            profile = profile_from_timeline(policy, timeline, config)
+            result = simulate_vr_session(profile, trace)
+            counts.append(result.num_stalls)
+            durations.append(result.mean_stall_duration_ms)
+        print(
+            f"{name:>12} | {np.mean(counts):10.2f} | {np.mean(durations):15.1f} ms"
+        )
+    print(
+        "\nAs in the paper's Table 4: LiBRA stalls far less often than the "
+        "heuristics, and neither oracle wins outright — throughput- and "
+        "delay-optimality genuinely conflict for interactive applications."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Dataset analysis: the §6.1 single-metric threshold study and class
+separability statistics."""
+
+from repro.analysis.thresholds import (
+    ThresholdRule,
+    best_threshold,
+    threshold_study,
+)
+from repro.analysis.separability import (
+    class_overlap,
+    ks_distance,
+    separability_report,
+)
+
+__all__ = [
+    "ThresholdRule",
+    "best_threshold",
+    "threshold_study",
+    "class_overlap",
+    "ks_distance",
+    "separability_report",
+]

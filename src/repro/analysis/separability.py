@@ -1,0 +1,72 @@
+"""Class-separability statistics behind the Figs. 4-9 CDF overlap story.
+
+Two complementary measures per metric:
+
+* **KS distance** — the maximum vertical gap between the BA-wins and
+  RA-wins CDFs (1 = perfectly separable by some threshold, 0 = identical
+  distributions).  This is exactly "how far apart do the two CDFs in the
+  figure sit".
+* **Histogram overlap** — the shared probability mass of the two class
+  distributions (0 = disjoint, 1 = identical); the paper's "very large
+  degree of overlap" quantified.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.metrics import FEATURE_NAMES
+from repro.dataset.entry import Dataset, ImpairmentKind
+
+
+def ks_distance(a, b) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic."""
+    a = np.sort(np.asarray(a, dtype=float))
+    b = np.sort(np.asarray(b, dtype=float))
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+def class_overlap(a, b, bins: int = 20) -> float:
+    """Shared probability mass of two samples' histograms on a common grid."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    low = min(a.min(), b.min())
+    high = max(a.max(), b.max())
+    if high == low:
+        return 1.0
+    edges = np.linspace(low, high, bins + 1)
+    hist_a, _ = np.histogram(a, bins=edges)
+    hist_b, _ = np.histogram(b, bins=edges)
+    pa = hist_a / hist_a.sum()
+    pb = hist_b / hist_b.sum()
+    return float(np.minimum(pa, pb).sum())
+
+
+def separability_report(
+    dataset: Dataset, kind: Optional[ImpairmentKind] = None
+) -> dict[str, dict[str, float]]:
+    """KS distance and overlap for every metric over one dataset view."""
+    subset = dataset.without_na() if kind is None else dataset.of_kind(kind)
+    X = subset.feature_matrix()
+    y = subset.labels()
+    ba = y == "BA"
+    if ba.all() or (~ba).all():
+        raise ValueError("need both classes present")
+    report = {}
+    for index, feature in enumerate(FEATURE_NAMES):
+        ba_values = X[ba, index]
+        ra_values = X[~ba, index]
+        report[feature] = {
+            "ks": ks_distance(ba_values, ra_values),
+            "overlap": class_overlap(ba_values, ra_values),
+        }
+    return report

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Covers the full pipeline without writing any Python:
+
+* ``dataset``  — run the measurement campaign and save/summarise it;
+* ``train``    — fit the LiBRA forest on a saved dataset, save the model;
+* ``evaluate`` — replay a saved dataset against LiBRA/heuristics/oracle;
+* ``cots``     — run one §3 motivation session and print its story.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _add_dataset_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "dataset", help="run the measurement campaign and save/summarise it"
+    )
+    parser.add_argument(
+        "--campaign", choices=("main", "testing"), default="main",
+        help="which building set to measure (default: main)",
+    )
+    parser.add_argument("--out", help="write the dataset to this JSONL path")
+    parser.add_argument(
+        "--csv", help="also write the features+labels CSV (public-artifact shape)"
+    )
+    parser.add_argument(
+        "--include-na", action="store_true",
+        help="augment with no-adaptation entries (needed to train LiBRA)",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def _add_train_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "train", help="fit the LiBRA random forest on a saved dataset"
+    )
+    parser.add_argument("dataset", help="JSONL dataset from `repro dataset --out`")
+    parser.add_argument("--model-out", required=True, help="JSON model output path")
+    parser.add_argument("--trees", type=int, default=60)
+    parser.add_argument("--max-depth", type=int, default=14)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_evaluate_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "evaluate", help="replay a saved dataset against the policies"
+    )
+    parser.add_argument("dataset", help="JSONL dataset to replay")
+    parser.add_argument("--model", help="JSON model for LiBRA (from `repro train`)")
+    parser.add_argument("--ba-overhead-ms", type=float, default=5.0)
+    parser.add_argument("--fat-ms", type=float, default=2.0)
+    parser.add_argument("--flow-s", type=float, default=1.0)
+
+
+def _add_cots_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "cots", help="run one §3 motivation session (static/blockage/mobility)"
+    )
+    parser.add_argument(
+        "scenario", choices=("static", "blockage", "mobility"),
+    )
+    parser.add_argument("--duration", type=float, default=20.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-ba", action="store_true", help="disable BA and lock the best sector"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LiBRA reproduction: datasets, models, and evaluations",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_dataset_parser(subparsers)
+    _add_train_parser(subparsers)
+    _add_evaluate_parser(subparsers)
+    _add_cots_parser(subparsers)
+    return parser
+
+
+def _cmd_dataset(args) -> int:
+    from repro.dataset.builder import (
+        DatasetBuildConfig,
+        build_main_dataset,
+        build_testing_dataset,
+    )
+    from repro.dataset.io import save_dataset
+
+    config_kwargs = {"include_na": args.include_na}
+    if args.seed is not None:
+        config_kwargs["seed"] = args.seed
+    config = DatasetBuildConfig(**config_kwargs)
+    if args.campaign == "main":
+        dataset = build_main_dataset(config)
+    else:
+        if args.seed is None:
+            config = DatasetBuildConfig(include_na=args.include_na, seed=1)
+        dataset = build_testing_dataset(config)
+    print(f"{args.campaign} campaign: {len(dataset)} entries")
+    for scenario, row in dataset.summary().items():
+        print(
+            f"  {scenario:>13}: {row['total']:4d} entries "
+            f"({row['BA']} BA / {row['RA']} RA) at {row['positions']} positions"
+        )
+    if args.out:
+        save_dataset(dataset, args.out)
+        print(f"saved to {args.out}")
+    if args.csv:
+        from repro.dataset.io import save_features_csv
+
+        save_features_csv(dataset, args.csv)
+        print(f"features CSV saved to {args.csv}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.dataset.io import load_dataset
+    from repro.ml.forest import RandomForestClassifier
+    from repro.ml.persistence import save_forest
+
+    dataset = load_dataset(args.dataset)
+    model = RandomForestClassifier(
+        n_estimators=args.trees, max_depth=args.max_depth, random_state=args.seed
+    )
+    X, y = dataset.feature_matrix(), dataset.labels()
+    model.fit(X, y)
+    accuracy = model.score(X, y)
+    save_forest(model, args.model_out)
+    print(
+        f"trained {args.trees}-tree forest on {len(dataset)} entries "
+        f"(classes: {', '.join(model.classes_)}; train accuracy {accuracy:.3f})"
+    )
+    print(f"model saved to {args.model_out}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.core.libra import LiBRA
+    from repro.core.policies import BAFirstPolicy, RAFirstPolicy
+    from repro.dataset.io import load_dataset
+    from repro.ml.persistence import load_forest
+    from repro.sim.engine import SimulationConfig, simulate_flow
+    from repro.sim.oracle import OracleData
+
+    dataset = load_dataset(args.dataset).without_na()
+    config = SimulationConfig(
+        ba_overhead_s=args.ba_overhead_ms * 1e-3,
+        frame_time_s=args.fat_ms * 1e-3,
+    )
+    policies = {"BA First": BAFirstPolicy(), "RA First": RAFirstPolicy()}
+    if args.model:
+        policies["LiBRA"] = LiBRA(load_forest(args.model))
+    oracle = OracleData(config, args.flow_s)
+    gaps = {name: [] for name in policies}
+    for entry in dataset:
+        best = simulate_flow(oracle, entry, config, args.flow_s)
+        for name, policy in policies.items():
+            result = simulate_flow(policy, entry, config, args.flow_s)
+            gaps[name].append((best.bytes_delivered - result.bytes_delivered) / 1e6)
+    print(
+        f"{len(dataset)} impairments, BA overhead {args.ba_overhead_ms:g} ms, "
+        f"FAT {args.fat_ms:g} ms, {args.flow_s:g} s flows:"
+    )
+    for name, values in gaps.items():
+        values = np.array(values)
+        print(
+            f"  {name:>9}: matches Oracle-Data {np.mean(values <= 1.0):4.0%}, "
+            f"mean gap {values.mean():6.1f} MB, worst {values.max():6.1f} MB"
+        )
+    return 0
+
+
+def _cmd_cots(args) -> int:
+    from repro.cots.device import (
+        run_blockage_session,
+        run_mobility_session,
+        run_static_session,
+    )
+    from repro.viz.ascii import sector_strip
+
+    runners = {
+        "static": run_static_session,
+        "blockage": run_blockage_session,
+        "mobility": run_mobility_session,
+    }
+    log = runners[args.scenario](
+        duration_s=args.duration, ba_enabled=not args.no_ba, seed=args.seed
+    )
+    print(f"{args.scenario} session, {args.duration:g} s, BA "
+          f"{'disabled (locked sector)' if args.no_ba else 'enabled'}:")
+    print(f"  sectors:    {sector_strip(log.sectors)}")
+    print(f"  BA triggers: {log.ba_count}, distinct sectors: {log.distinct_sectors()}")
+    print(f"  throughput:  {log.throughput_mbps:.0f} Mbps")
+    return 0
+
+
+_COMMANDS = {
+    "dataset": _cmd_dataset,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "cots": _cmd_cots,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

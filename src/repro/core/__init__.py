@@ -1,0 +1,69 @@
+"""The paper's contribution: PHY-metric features, ground-truth labelling,
+the RA/BA algorithms, and the LiBRA controller (Algorithm 1)."""
+
+from repro.core.mcs import Mcs, X60_MCS_SET, AD_MCS_SET, MCSSet
+from repro.core.metrics import FeatureVector, FEATURE_NAMES, compute_features
+from repro.core.ground_truth import (
+    GroundTruthConfig,
+    Action,
+    th_ra,
+    th_ba,
+    recovery_delay_ra_s,
+    recovery_delay_ba_s,
+    utility,
+    max_delay_s,
+    label_entry,
+)
+from repro.core.rate_adaptation import RateAdaptation, RAResult
+from repro.core.beam_adaptation import BeamAdaptation, SweepKind, ba_overhead_s
+from repro.core.policies import (
+    LinkAdaptationPolicy,
+    RAFirstPolicy,
+    BAFirstPolicy,
+    PolicyDecision,
+)
+from repro.core.libra import LiBRA, LiBRAConfig
+from repro.core.observation import (
+    FrameFeedback,
+    MetricWindow,
+    WindowSnapshot,
+    features_between,
+)
+from repro.core.snr_rate_adaptation import SnrMappedRateAdaptation
+from repro.core.history import BlockagePatternLearner
+
+__all__ = [
+    "Mcs",
+    "MCSSet",
+    "X60_MCS_SET",
+    "AD_MCS_SET",
+    "FeatureVector",
+    "FEATURE_NAMES",
+    "compute_features",
+    "GroundTruthConfig",
+    "Action",
+    "th_ra",
+    "th_ba",
+    "recovery_delay_ra_s",
+    "recovery_delay_ba_s",
+    "utility",
+    "max_delay_s",
+    "label_entry",
+    "RateAdaptation",
+    "RAResult",
+    "BeamAdaptation",
+    "SweepKind",
+    "ba_overhead_s",
+    "LinkAdaptationPolicy",
+    "RAFirstPolicy",
+    "BAFirstPolicy",
+    "PolicyDecision",
+    "LiBRA",
+    "LiBRAConfig",
+    "FrameFeedback",
+    "MetricWindow",
+    "WindowSnapshot",
+    "features_between",
+    "SnrMappedRateAdaptation",
+    "BlockagePatternLearner",
+]

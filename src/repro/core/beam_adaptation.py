@@ -1,0 +1,128 @@
+"""Beam adaptation (BA) algorithms and their overhead models.
+
+The paper evaluates LiBRA under four BA-overhead operating points (§8.1):
+
+* **0.5 ms** — 802.11ad-style O(N) sector-level sweep with quasi-omni
+  reception and a 30° beamwidth (today's COTS devices);
+* **5 ms** — the same protocol with a 3° beamwidth (the minimum 802.11ad
+  allows, hence ~10x the sectors);
+* **150 ms / 250 ms** — exhaustive O(N²) sweeps that train both Tx and Rx
+  beams with directional reception at 9°/7° beamwidths (the future,
+  dense-deployment regime, numbers from Sur et al.'s Fig. 11).
+
+:func:`ba_overhead_s` is the parametric model behind those four values;
+:class:`BeamAdaptation` runs an actual sweep against the emulated testbed
+(used by the live examples and the COTS motivation study), while the §8
+trace-based simulation only needs the overhead values plus the recorded
+best-pair traces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constants import BA_OVERHEADS_S
+from repro.env.placement import RadioPose
+from repro.phy.channel import ChannelState
+from repro.testbed.x60 import X60Link
+
+SECTOR_SWEEP_FRAME_S = 15.8e-6
+"""Duration of one sector-sweep control frame (SSW frame, 802.11ad)."""
+
+AZIMUTH_SPAN_DEG = 120.0
+"""The phased arrays cover ±60° in azimuth."""
+
+
+class SweepKind(enum.Enum):
+    """The sweep protocols considered in the paper."""
+
+    TX_ONLY_QUASI_OMNI = "tx-only"  # O(N): COTS behaviour
+    TX_AND_RX = "tx-and-rx"  # O(N) per side, 802.11ad standard SLS
+    EXHAUSTIVE = "exhaustive"  # O(N^2): both sides trained jointly
+
+
+def sectors_for_beamwidth(beamwidth_deg: float) -> int:
+    """Number of sectors needed to cover the azimuth span."""
+    if beamwidth_deg <= 0:
+        raise ValueError("beamwidth must be positive")
+    return max(1, round(AZIMUTH_SPAN_DEG / beamwidth_deg))
+
+
+def ba_overhead_s(
+    kind: SweepKind,
+    beamwidth_deg: float,
+    frame_time_s: float = SECTOR_SWEEP_FRAME_S,
+    per_pair_dwell_s: Optional[float] = None,
+) -> float:
+    """Sweep duration for a protocol/beamwidth combination.
+
+    For the exhaustive sweep, ``per_pair_dwell_s`` is the time spent
+    measuring each beam pair (hardware-dependent; X60-class platforms need
+    ~0.5-1 ms per pair, which is what produces the 150-250 ms numbers).
+    """
+    n = sectors_for_beamwidth(beamwidth_deg)
+    if kind is SweepKind.TX_ONLY_QUASI_OMNI:
+        return n * frame_time_s
+    if kind is SweepKind.TX_AND_RX:
+        return 2 * n * frame_time_s
+    dwell = per_pair_dwell_s if per_pair_dwell_s is not None else 1e-3
+    return n * n * dwell
+
+
+def canonical_overheads_s() -> tuple[float, ...]:
+    """The paper's four §8.1 operating points."""
+    return BA_OVERHEADS_S
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one beam-adaptation run."""
+
+    tx_beam: int
+    rx_beam: int
+    snr_db: float
+    overhead_s: float
+    pairs_tested: int
+
+
+class BeamAdaptation:
+    """Run a sweep against the emulated testbed.
+
+    ``kind`` selects the search: the exhaustive sweep tests all N² pairs;
+    the Tx-only sweep holds the Rx in quasi-omni (emulated by fixing the
+    Rx beam to the current one and scoring Tx beams only, then keeping the
+    Rx beam unchanged — the COTS shortcut described in §2).
+    """
+
+    def __init__(
+        self,
+        kind: SweepKind = SweepKind.EXHAUSTIVE,
+        overhead_s: Optional[float] = None,
+        beamwidth_deg: float = 30.0,
+    ):
+        self.kind = kind
+        self.beamwidth_deg = beamwidth_deg
+        self.overhead_s = (
+            overhead_s if overhead_s is not None else ba_overhead_s(kind, beamwidth_deg)
+        )
+
+    def run(
+        self,
+        link: X60Link,
+        state: ChannelState,
+        rx: RadioPose,
+        current_rx_beam: int = 0,
+    ) -> SweepResult:
+        n = len(link.codebook)
+        if self.kind is SweepKind.TX_ONLY_QUASI_OMNI:
+            best = (0, -1e9)
+            for tx_beam in range(n):
+                snr = link.snr_for_pair(state, rx, tx_beam, current_rx_beam)
+                if snr > best[1]:
+                    best = (tx_beam, snr)
+            return SweepResult(best[0], current_rx_beam, best[1], self.overhead_s, n)
+        tx_beam, rx_beam, snr = link.sector_sweep(state, rx)
+        pairs = n * n if self.kind is SweepKind.EXHAUSTIVE else 2 * n
+        return SweepResult(tx_beam, rx_beam, snr, self.overhead_s, pairs)

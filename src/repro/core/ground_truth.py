@@ -1,0 +1,176 @@
+"""Ground-truth labelling (§5.2).
+
+Given the logged traces at a new state — one measurement on the *initial*
+best beam pair and one on the *new* best pair found by an SLS — the ground
+truth "simulates" both repair strategies:
+
+* **RA alone**: descend the MCS ladder from the initial best MCS on the old
+  beam pair;  ``Th(RA)`` is the best throughput found.  If no MCS works, a
+  real MAC would fall back to BA followed by another RA round.
+* **BA (then RA)**: pay the sweep overhead, switch to the new best pair,
+  then descend from the initial MCS; ``Th(BA)`` is the best throughput with
+  the new pair among MCSs ≤ the initial one (the paper's refined
+  definition — BA typically lands on a longer reflected path, which will
+  not support a *higher* MCS than before).
+
+Both the throughput winner and the *link recovery delay* — time from the
+break until the first working MCS — are combined in the utility
+
+    U = α · Th/Th_max + (1 − α) · (1 − D/D_max)          (Eqn. 1)
+
+with D_max = N_MCS·FAT + d_BA + N_MCS·FAT, the pathological case where RA
+is tried first, fails entirely, BA runs, and RA must scan again.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constants import X60_NUM_MCS
+from repro.core.mcs import X60_MCS_SET
+from repro.testbed.traces import StateMeasurement
+
+
+class Action(enum.Enum):
+    """The three adaptation decisions LiBRA can make."""
+
+    RA = "RA"
+    BA = "BA"
+    NA = "NA"  # no adaptation needed
+
+    def __str__(self) -> str:  # keeps dataset files compact
+        return self.value
+
+
+@dataclass(frozen=True)
+class GroundTruthConfig:
+    """Protocol parameters the ground truth depends on (§5.2, §8.1)."""
+
+    alpha: float = 1.0
+    ba_overhead_s: float = 5e-3
+    frame_time_s: float = 2e-3
+    num_mcs: int = X60_NUM_MCS
+    max_rate_mbps: float = X60_MCS_SET.max_rate_mbps
+    tie_margin: float = 0.001
+    """Utility differences below this are measurement noise, not a win:
+    real 1 s throughput traces resolve differences of roughly a percent of
+    the peak rate, so a BA 'advantage' smaller than that is a tie — and
+    ties go to RA, per the paper's "RA when Th(RA) ≥ Th(BA)"."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if self.ba_overhead_s < 0 or self.frame_time_s <= 0:
+            raise ValueError("overheads must be non-negative, frame time positive")
+        if self.tie_margin < 0:
+            raise ValueError("tie_margin must be non-negative")
+
+
+def max_delay_s(config: GroundTruthConfig) -> float:
+    """D_max: failed full RA scan + BA + second full RA scan (§5.2)."""
+    return 2.0 * config.num_mcs * config.frame_time_s + config.ba_overhead_s
+
+
+def _is_working(measurement: StateMeasurement, mcs: int) -> bool:
+    from repro.constants import WORKING_MCS_MIN_CDR, WORKING_MCS_MIN_THROUGHPUT_MBPS
+
+    return (
+        measurement.cdr[mcs] > WORKING_MCS_MIN_CDR
+        and measurement.throughput_mbps[mcs] > WORKING_MCS_MIN_THROUGHPUT_MBPS
+    )
+
+
+def first_working_descending(
+    measurement: StateMeasurement, start_mcs: int
+) -> tuple[Optional[int], int]:
+    """Scan MCSs ``start_mcs, start_mcs-1, …, 0`` until one works.
+
+    Returns ``(found_mcs_or_None, frames_spent)``; a full failed scan costs
+    ``start_mcs + 1`` frames.
+    """
+    for steps, mcs in enumerate(range(start_mcs, -1, -1), start=1):
+        if _is_working(measurement, mcs):
+            return mcs, steps
+    return None, start_mcs + 1
+
+
+def th_ra(new_same_pair: StateMeasurement, initial_mcs: int) -> float:
+    """Th(RA): best throughput on the old beam pair, MCS ≤ initial (§5.2)."""
+    return new_same_pair.best_throughput(max_mcs=initial_mcs)
+
+
+def th_ba(new_best_pair: StateMeasurement, initial_mcs: int) -> float:
+    """Th(BA): best throughput on the new best pair, MCS ≤ initial (§5.2)."""
+    return new_best_pair.best_throughput(max_mcs=initial_mcs)
+
+
+def recovery_delay_ra_s(
+    new_same_pair: StateMeasurement,
+    new_best_pair: StateMeasurement,
+    initial_mcs: int,
+    config: GroundTruthConfig,
+) -> float:
+    """Link recovery delay when RA is triggered first.
+
+    If the old pair still has a working MCS the delay is just the probing
+    frames; otherwise the full failed scan, the BA sweep, and a second scan
+    on the new pair are all paid (the paper's D_max construction).
+    """
+    found, frames = first_working_descending(new_same_pair, initial_mcs)
+    if found is not None:
+        return frames * config.frame_time_s
+    delay = frames * config.frame_time_s + config.ba_overhead_s
+    found2, frames2 = first_working_descending(new_best_pair, initial_mcs)
+    delay += frames2 * config.frame_time_s
+    if found2 is None:
+        # Nothing works anywhere: the link is dead; delay saturates at D_max.
+        return max_delay_s(config)
+    return delay
+
+
+def recovery_delay_ba_s(
+    new_best_pair: StateMeasurement,
+    initial_mcs: int,
+    config: GroundTruthConfig,
+) -> float:
+    """Link recovery delay when BA is triggered first (then RA)."""
+    found, frames = first_working_descending(new_best_pair, initial_mcs)
+    delay = config.ba_overhead_s + frames * config.frame_time_s
+    if found is None:
+        return max_delay_s(config)
+    return delay
+
+
+def utility(throughput_mbps: float, delay_s: float, config: GroundTruthConfig) -> float:
+    """The paper's utility metric U (Eqn. 1)."""
+    d_max = max_delay_s(config)
+    delay_term = 1.0 - min(delay_s, d_max) / d_max
+    return (
+        config.alpha * throughput_mbps / config.max_rate_mbps
+        + (1.0 - config.alpha) * delay_term
+    )
+
+
+def label_entry(
+    new_same_pair: StateMeasurement,
+    new_best_pair: StateMeasurement,
+    initial_mcs: int,
+    config: GroundTruthConfig = GroundTruthConfig(),
+) -> Action:
+    """The ground-truth winner for one dataset entry.
+
+    Ties go to RA, matching the paper's "perform RA when Th(RA) ≥ Th(BA)".
+    """
+    u_ra = utility(
+        th_ra(new_same_pair, initial_mcs),
+        recovery_delay_ra_s(new_same_pair, new_best_pair, initial_mcs, config),
+        config,
+    )
+    u_ba = utility(
+        th_ba(new_best_pair, initial_mcs),
+        recovery_delay_ba_s(new_best_pair, initial_mcs, config),
+        config,
+    )
+    return Action.RA if u_ra >= u_ba - config.tie_margin else Action.BA

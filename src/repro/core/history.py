@@ -1,0 +1,94 @@
+"""Blockage-pattern learning over long horizons — the paper's named
+future work.
+
+§7: "longer observation windows may have some benefits, e.g., they may
+allow the transmitter to learn blockage patterns and make better decisions
+in the future.  We believe that learning link status patterns over longer
+periods of time is an interesting avenue for future investigation."
+
+This module is that investigation's simplest useful instance: a detector
+for *periodic* blockage (a person pacing through the LOS, a rotating
+machine, a periodic forklift route).  It records link-break timestamps,
+estimates the dominant inter-break period when one exists, and predicts
+the next break so the controller can pre-arm — e.g. pre-emptively sweep or
+pre-drop the MCS just before the expected hit instead of paying the full
+missing-ACK recovery every cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class BlockagePatternLearner:
+    """Detects periodicity in a stream of link-break timestamps.
+
+    Args:
+        max_history: Breaks remembered (sliding window).
+        min_breaks: Breaks needed before a period is ever reported.
+        tolerance: Maximum relative spread of inter-break intervals (their
+            coefficient of variation) for the pattern to count as
+            periodic.
+    """
+
+    max_history: int = 32
+    min_breaks: int = 4
+    tolerance: float = 0.2
+    _breaks: list = field(default_factory=list, repr=False)
+
+    def record_break(self, time_s: float) -> None:
+        """Register one link break (timestamps must be non-decreasing)."""
+        if self._breaks and time_s < self._breaks[-1]:
+            raise ValueError("break timestamps must be non-decreasing")
+        self._breaks.append(float(time_s))
+        if len(self._breaks) > self.max_history:
+            self._breaks = self._breaks[-self.max_history:]
+
+    @property
+    def num_breaks(self) -> int:
+        return len(self._breaks)
+
+    def period_s(self) -> Optional[float]:
+        """The dominant inter-break period, or ``None`` if not periodic."""
+        if len(self._breaks) < self.min_breaks:
+            return None
+        intervals = np.diff(self._breaks)
+        intervals = intervals[intervals > 0]
+        if intervals.size < self.min_breaks - 1:
+            return None
+        mean = float(intervals.mean())
+        if mean <= 0:
+            return None
+        spread = float(intervals.std()) / mean
+        if spread > self.tolerance:
+            return None
+        return mean
+
+    def next_break_eta_s(self, now_s: float) -> Optional[float]:
+        """Seconds until the predicted next break, or ``None``.
+
+        If the prediction is already overdue the next cycle is assumed
+        (the blocker may have been missed once); returns a value in
+        ``[0, period)``.
+        """
+        period = self.period_s()
+        if period is None or not self._breaks:
+            return None
+        elapsed = now_s - self._breaks[-1]
+        if elapsed < 0:
+            raise ValueError("now_s precedes the last recorded break")
+        remaining = period - (elapsed % period)
+        return remaining % period
+
+    def should_prearm(self, now_s: float, guard_s: float = 0.1) -> bool:
+        """True when a predicted break is within ``guard_s`` — the hook a
+        controller uses to pre-emptively adapt."""
+        eta = self.next_break_eta_s(now_s)
+        return eta is not None and eta <= guard_s
+
+    def reset(self) -> None:
+        self._breaks.clear()

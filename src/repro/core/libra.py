@@ -1,0 +1,137 @@
+"""The LiBRA controller (§7, Algorithm 1).
+
+LiBRA decides, every two frames, using the PHY-metric deltas piggybacked on
+Block ACKs:
+
+1. **No adaptation / RA / BA** via a 3-class model (the paper's random
+   forest retrained with NA entries);
+2. **Missing-ACK rule**: with no ACK there are no fresh metrics, so LiBRA
+   falls back to a dataset statistic — below MCS 6, BA is right 92 % of
+   the time, so trigger BA; at MCS ≥ 6 trigger BA only when the BA
+   overhead is low, otherwise RA (§7, issue 3);
+3. After BA, always run RA (BA lands on a new path whose best MCS is
+   unknown); after a failed RA, run BA then RA (Algorithm 1's fallback).
+
+The classifier is pluggable: anything with a ``predict(X) → array of
+label strings`` method works (the from-scratch models in :mod:`repro.ml`
+all qualify), so LiBRA "works with a variety of RA and BA algorithms" and
+models, as the paper stresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.constants import (
+    BA_OVERHEAD_THRESHOLD_S,
+    DECISION_PERIOD_FRAMES,
+    MISSING_ACK_MCS_THRESHOLD,
+)
+from repro.core.ground_truth import Action
+from repro.core.policies import (
+    LinkAdaptationPolicy,
+    Observation,
+    PolicyDecision,
+)
+
+
+class Classifier(Protocol):
+    """Anything that maps feature rows to label strings."""
+
+    def predict(self, features: np.ndarray) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class LiBRAConfig:
+    """Protocol knobs of the controller (defaults = the paper's)."""
+
+    missing_ack_mcs_threshold: int = MISSING_ACK_MCS_THRESHOLD
+    ba_overhead_threshold_s: float = BA_OVERHEAD_THRESHOLD_S
+    decision_period_frames: int = DECISION_PERIOD_FRAMES
+
+    def __post_init__(self) -> None:
+        if self.decision_period_frames < 1:
+            raise ValueError("decision period must be at least one frame")
+
+
+@dataclass
+class LiBRA(LinkAdaptationPolicy):
+    """The learning-based policy of Algorithm 1."""
+
+    model: Classifier
+    config: LiBRAConfig = field(default_factory=LiBRAConfig)
+    name: str = "LiBRA"
+    _frames_since_decision: int = field(default=0, init=False, repr=False)
+
+    def reset(self) -> None:
+        self._frames_since_decision = 0
+
+    def decide(self, observation: Observation) -> PolicyDecision:
+        """One pass of Algorithm 1's selectAction()."""
+        if observation.ack_missing:
+            return self._missing_ack_rule(observation)
+        if observation.features is None:
+            raise ValueError("features are required when the ACK is present")
+        prediction = self.model.predict(
+            observation.features.to_array().reshape(1, -1)
+        )[0]
+        action = Action(str(prediction))
+        if action is Action.NA:
+            return PolicyDecision(Action.NA, "model: no adaptation needed")
+        if action is Action.RA:
+            return PolicyDecision(Action.RA, "model: rate adaptation suffices")
+        return PolicyDecision(Action.BA, "model: beam adaptation required")
+
+    def _missing_ack_rule(self, observation: Observation) -> PolicyDecision:
+        """§7's fallback when no metrics arrive.
+
+        Below MCS 6 the dataset says BA wins 92 % of the time → BA.  At
+        MCS ≥ 6 it is a coin flip (48/52), so the tie-breaker is the BA
+        overhead: sweep first only when sweeping is cheap.
+        """
+        if observation.current_mcs < self.config.missing_ack_mcs_threshold:
+            return PolicyDecision(Action.BA, "missing ACK at low MCS: BA wins 92%")
+        if observation.ba_overhead_s < self.config.ba_overhead_threshold_s:
+            return PolicyDecision(Action.BA, "missing ACK, cheap sweep: BA first")
+        return PolicyDecision(Action.RA, "missing ACK, expensive sweep: RA first")
+
+
+@dataclass
+class ThresholdClassifier:
+    """A hand-tuned, non-learned stand-in classifier.
+
+    Encodes the per-metric thresholds §6.1 identified (SNR drop > 7 dB ⇒
+    BA; infinite/zero ToF ⇒ BA; negative ToF difference ⇒ RA; …).  It
+    exists as the ablation baseline showing why the learned model is
+    needed — the paper's whole §6.1 argument is that these thresholds do
+    not compose into an accurate rule.
+    """
+
+    snr_drop_ba_db: float = 7.0
+    na_snr_band_db: float = 2.0
+    tof_zero_band_ns: float = 0.5
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        from repro.core.metrics import TOF_INF_SENTINEL_NS
+
+        features = np.atleast_2d(features)
+        labels = []
+        for row in features:
+            snr_diff, tof_diff = row[0], row[1]
+            cdr = row[5]
+            if abs(snr_diff) < self.na_snr_band_db and cdr > 0.9:
+                labels.append(Action.NA.value)
+            elif snr_diff > self.snr_drop_ba_db:
+                labels.append(Action.BA.value)
+            elif tof_diff >= TOF_INF_SENTINEL_NS - 1e-9:
+                labels.append(Action.BA.value)
+            elif abs(tof_diff) < self.tof_zero_band_ns:
+                labels.append(Action.BA.value)
+            elif tof_diff < 0:
+                labels.append(Action.RA.value)
+            else:
+                labels.append(Action.BA.value)
+        return np.array(labels)

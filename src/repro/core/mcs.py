@@ -1,0 +1,108 @@
+"""Modulation and coding schemes.
+
+Two tables matter for the reproduction: the 9-MCS X60 SC ladder (used for
+the dataset and the LiBRA evaluation) and the 12-MCS 802.11ad SC ladder
+(used by the COTS motivation study and for rate-scaling in the VR study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.constants import (
+    AD_MCS_SNR_THRESHOLDS_DB,
+    AD_MCS_TABLE,
+    X60_MCS_SNR_THRESHOLDS_DB,
+    X60_MCS_TABLE,
+)
+
+
+@dataclass(frozen=True)
+class Mcs:
+    """One modulation-and-coding scheme."""
+
+    index: int
+    modulation: str
+    code_rate: float
+    rate_mbps: float
+    codeword_bytes: int = 0
+    snr_threshold_db: float = 0.0
+
+    @property
+    def rate_bps(self) -> float:
+        return self.rate_mbps * 1e6
+
+
+class MCSSet:
+    """An ordered ladder of MCSs, lowest-rate first."""
+
+    def __init__(self, mcs_list: Sequence[Mcs], name: str):
+        if not mcs_list:
+            raise ValueError("MCS set cannot be empty")
+        rates = [m.rate_mbps for m in mcs_list]
+        if rates != sorted(rates):
+            raise ValueError("MCS set must be ordered by increasing rate")
+        self._mcs = list(mcs_list)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._mcs)
+
+    def __getitem__(self, index: int) -> Mcs:
+        return self._mcs[index]
+
+    def __iter__(self) -> Iterator[Mcs]:
+        return iter(self._mcs)
+
+    @property
+    def min_index(self) -> int:
+        return self._mcs[0].index
+
+    @property
+    def max_index(self) -> int:
+        return self._mcs[-1].index
+
+    @property
+    def max_rate_mbps(self) -> float:
+        """PHY rate of the highest MCS — Th_max in the utility metric."""
+        return self._mcs[-1].rate_mbps
+
+    def rate_mbps(self, index: int) -> float:
+        return self.by_index(index).rate_mbps
+
+    def by_index(self, index: int) -> Mcs:
+        for mcs in self._mcs:
+            if mcs.index == index:
+                return mcs
+        raise KeyError(f"no MCS with index {index} in set {self.name!r}")
+
+    def highest_below_snr(self, snr_db: float, margin_db: float = 0.0) -> Optional[Mcs]:
+        """The highest MCS whose SNR threshold clears ``snr_db - margin``.
+
+        This is the direct SNR→MCS mapping older work proposed for 60 GHz
+        RA (§2); the paper showed it performs poorly in practice, and we
+        carry it as a baseline.
+        """
+        winner = None
+        for mcs in self._mcs:
+            if mcs.snr_threshold_db <= snr_db - margin_db:
+                winner = mcs
+        return winner
+
+
+X60_MCS_SET = MCSSet(
+    [
+        Mcs(i, mod, cr, rate, cw_bytes, X60_MCS_SNR_THRESHOLDS_DB[i])
+        for (i, mod, cr, rate, cw_bytes) in X60_MCS_TABLE
+    ],
+    name="x60-sc",
+)
+
+AD_MCS_SET = MCSSet(
+    [
+        Mcs(i, mod, cr, rate, 0, AD_MCS_SNR_THRESHOLDS_DB[j])
+        for j, (i, mod, cr, rate) in enumerate(AD_MCS_TABLE)
+    ],
+    name="802.11ad-sc",
+)

@@ -1,0 +1,113 @@
+"""Sliding observation windows for the Tx-side metric pipeline (§7).
+
+LiBRA makes a decision every two frames by comparing the metrics averaged
+over the *current* observation window against the *previous* window
+(Algorithm 1's ``updateMetrics(frameID, frameID-1)`` /
+``classifyBaRaNa(metrics, prev_metrics)``).  This module turns per-frame
+ACK feedback into those windowed snapshots and into the
+:class:`~repro.core.metrics.FeatureVector` the classifier consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.metrics import FeatureVector, tof_difference_ns
+from repro.phy.pdp import csi_similarity, pdp_similarity
+
+
+@dataclass(frozen=True)
+class FrameFeedback:
+    """What one Block ACK carries back to the transmitter."""
+
+    snr_db: float
+    noise_dbm: float
+    tof_ns: float
+    pdp: np.ndarray
+    cdr: float
+
+
+@dataclass
+class WindowSnapshot:
+    """Averages of one completed observation window."""
+
+    snr_db: float
+    noise_dbm: float
+    tof_ns: float
+    pdp: np.ndarray
+    cdr: float
+    frames: int
+
+
+@dataclass
+class MetricWindow:
+    """Accumulates per-frame feedback into fixed-length window snapshots.
+
+    ``frames_per_window`` follows the §7 design: 2 frames in X60 (20 ms
+    windows), 2 frames in 802.11ad (4 ms) — the constant is frames, the
+    wall-clock follows the FAT.
+    """
+
+    frames_per_window: int = 2
+    _snr: list = field(default_factory=list, repr=False)
+    _noise: list = field(default_factory=list, repr=False)
+    _tof: list = field(default_factory=list, repr=False)
+    _pdp: list = field(default_factory=list, repr=False)
+    _cdr: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.frames_per_window < 1:
+            raise ValueError("a window needs at least one frame")
+
+    def push(self, feedback: FrameFeedback) -> Optional[WindowSnapshot]:
+        """Add one frame's feedback; returns a snapshot when the window
+        completes (and resets for the next window)."""
+        self._snr.append(feedback.snr_db)
+        self._noise.append(feedback.noise_dbm)
+        self._tof.append(feedback.tof_ns)
+        self._pdp.append(feedback.pdp)
+        self._cdr.append(feedback.cdr)
+        if len(self._snr) < self.frames_per_window:
+            return None
+        finite_tofs = [t for t in self._tof if not math.isinf(t)]
+        snapshot = WindowSnapshot(
+            snr_db=float(np.mean(self._snr)),
+            noise_dbm=float(np.mean(self._noise)),
+            tof_ns=float(np.mean(finite_tofs)) if finite_tofs else math.inf,
+            pdp=np.mean(np.stack(self._pdp), axis=0),
+            cdr=float(np.mean(self._cdr)),
+            frames=len(self._snr),
+        )
+        self.reset()
+        return snapshot
+
+    def reset(self) -> None:
+        self._snr.clear()
+        self._noise.clear()
+        self._tof.clear()
+        self._pdp.clear()
+        self._cdr.clear()
+
+
+def features_between(
+    previous: WindowSnapshot, current: WindowSnapshot, current_mcs: int
+) -> FeatureVector:
+    """The §6.1 feature deltas between two consecutive windows.
+
+    ``previous`` plays the paper's "initial state", ``current`` the "new
+    state"; ``current_mcs`` stands in for the initial best MCS (the MCS in
+    use when the window closed).
+    """
+    return FeatureVector(
+        snr_diff_db=previous.snr_db - current.snr_db,
+        tof_diff_ns=tof_difference_ns(previous.tof_ns, current.tof_ns),
+        noise_diff_db=current.noise_dbm - previous.noise_dbm,
+        pdp_similarity=pdp_similarity(previous.pdp, current.pdp),
+        csi_similarity=csi_similarity(previous.pdp, current.pdp),
+        cdr=current.cdr,
+        initial_mcs=current_mcs,
+    )

@@ -1,0 +1,102 @@
+"""Link-adaptation policies: the decision layer the §8 evaluation compares.
+
+A policy answers one question at each decision point: given what the
+transmitter can observe (the ACK-borne PHY metric deltas, or the fact that
+the ACK went missing), should it do nothing, trigger RA, or trigger BA?
+
+* :class:`RAFirstPolicy` — what COTS devices do today: on a broken MCS,
+  always try RA first (§2, §8.1).
+* :class:`BAFirstPolicy` — the patent-suggested alternative: always sweep
+  first, then RA (§2 [14]).
+* :class:`LiBRA` (in :mod:`repro.core.libra`) — the learning-based policy.
+* The oracles live in :mod:`repro.sim.oracle`: they peek at ground truth
+  and are upper bounds, not implementable policies.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.ground_truth import Action
+from repro.core.metrics import FeatureVector
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What the Tx-side policy can see at a decision point.
+
+    Attributes:
+        features: PHY metric deltas carried back on the last Block ACK;
+            ``None`` exactly when the ACK is missing.
+        ack_missing: The last aggregated frame produced no Block ACK.
+        current_mcs: The MCS in use.
+        current_mcs_working: Whether the current MCS still satisfies the
+            §5.2 working predicate (the trigger the simple heuristics use).
+        ba_overhead_s: The configured BA overhead — a protocol constant the
+            policy may consult (LiBRA's missing-ACK rule does).
+    """
+
+    features: Optional[FeatureVector]
+    ack_missing: bool
+    current_mcs: int
+    current_mcs_working: bool
+    ba_overhead_s: float
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """A policy's answer plus a short rationale (useful in logs/tests)."""
+
+    action: Action
+    reason: str = ""
+
+
+class LinkAdaptationPolicy(abc.ABC):
+    """Base class for all decision policies."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def decide(self, observation: Observation) -> PolicyDecision:
+        """Pick NA / RA / BA for this decision point."""
+
+    def reset(self) -> None:
+        """Clear any per-flow state (default: stateless)."""
+
+
+class RAFirstPolicy(LinkAdaptationPolicy):
+    """Trigger RA whenever the current MCS stops working (COTS behaviour).
+
+    BA is reached only through RA failure — the simulation engine performs
+    the BA fallback when a repair round finds no working MCS, so the policy
+    itself never answers BA.
+    """
+
+    name = "RA First"
+
+    def decide(self, observation: Observation) -> PolicyDecision:
+        if observation.ack_missing or not observation.current_mcs_working:
+            return PolicyDecision(Action.RA, "link degraded: COTS devices try rates first")
+        return PolicyDecision(Action.NA, "current MCS still working")
+
+
+class BAFirstPolicy(LinkAdaptationPolicy):
+    """Trigger BA (then RA) whenever the current MCS stops working ([14])."""
+
+    name = "BA First"
+
+    def decide(self, observation: Observation) -> PolicyDecision:
+        if observation.ack_missing or not observation.current_mcs_working:
+            return PolicyDecision(Action.BA, "link degraded: sweep first per [14]")
+        return PolicyDecision(Action.NA, "current MCS still working")
+
+
+class StaticPolicy(LinkAdaptationPolicy):
+    """Never adapt — the locked-sector baseline of the §3 experiments."""
+
+    name = "Static"
+
+    def decide(self, observation: Observation) -> PolicyDecision:
+        return PolicyDecision(Action.NA, "adaptation disabled")

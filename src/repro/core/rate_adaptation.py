@@ -1,0 +1,181 @@
+"""Frame-based rate adaptation (§7, Algorithm 1's RA pieces).
+
+Two responsibilities:
+
+1. **Link repair** (:meth:`RateAdaptation.repair`): starting from the MCS
+   in use, probe downward one aggregated frame per MCS until the first
+   *working* MCS appears, then settle on the best-throughput working MCS
+   found along the way.  If nothing works, the caller must fall back to BA
+   followed by another repair round (the ground truth and simulator both
+   account for that).
+
+2. **Upward probing** (:meth:`RateAdaptation.frames`): once settled, probe
+   the next-higher MCS whenever the recent CDR clears an opportunistic
+   threshold (inspired by RRAA's ORI rule), with an adaptive probing
+   interval ``T = T0 · min(2^k, 2^5)`` where ``k`` counts consecutive
+   failed probes (inspired by MiRA) — §7's exact construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.constants import (
+    PROBE_BACKOFF_CAP,
+    PROBE_INTERVAL_MIN_FRAMES,
+    X60_NUM_MCS,
+)
+from repro.core.mcs import X60_MCS_SET, MCSSet
+from repro.testbed.traces import McsTraces
+
+
+def cdr_ori_threshold(mcs: int, mcs_set: MCSSet = X60_MCS_SET) -> float:
+    """Opportunistic-rate-increase threshold for probing ``mcs + 1``.
+
+    Probing the next MCS is worthwhile only if the goodput it could reach
+    can beat the current one; assuming a near-perfect next-step CDR of 0.9,
+    the current CDR must exceed ``0.9 · rate(mcs+1)⁻¹ · rate(mcs)``
+    inverted — i.e. CDR_ORI = 0.9 · rate(mcs) / rate(mcs+1) is the break-
+    even point (following the spirit of RRAA's P_ORI).
+    """
+    if mcs >= len(mcs_set) - 1:
+        return float("inf")  # no higher MCS to probe
+    return 0.9 * mcs_set.rate_mbps(mcs) / mcs_set.rate_mbps(mcs + 1)
+
+
+@dataclass
+class RAResult:
+    """Outcome of one repair round."""
+
+    found_mcs: Optional[int]
+    frames_spent: int
+    bytes_during_search: float
+    settled_throughput_mbps: float
+
+    @property
+    def failed(self) -> bool:
+        return self.found_mcs is None
+
+
+@dataclass
+class FrameOutcome:
+    """One simulated frame after the link has settled."""
+
+    mcs: int
+    throughput_mbps: float
+    probing: bool
+
+
+@dataclass
+class RateAdaptation:
+    """The §7 RA algorithm over recorded per-MCS traces.
+
+    The trace-driven design mirrors the paper's evaluation: within one
+    (state, beam pair) the per-MCS CDR/throughput values are stationary,
+    so the algorithm's dynamics reduce to which MCS it transmits at each
+    frame and how often it wastes frames probing.
+    """
+
+    frame_time_s: float
+    mcs_set: MCSSet = field(default_factory=lambda: X60_MCS_SET)
+    probe_interval_min: int = PROBE_INTERVAL_MIN_FRAMES
+    probe_backoff_cap: int = PROBE_BACKOFF_CAP
+
+    def repair(
+        self, traces: McsTraces, start_mcs: int, initial_throughput_mbps: float = 0.0
+    ) -> RAResult:
+        """Probe downward from ``start_mcs`` per Algorithm 1's RA().
+
+        The scan descends while the measured throughput keeps improving;
+        when it drops below the best seen so far, RA settles at the
+        previous (best) MCS if that MCS is working.  Each probed MCS costs
+        one frame which still delivers data at that MCS's observed
+        throughput (RA uses *data* frames — the reason its recovery
+        throughput is "suboptimal but not necessarily 0", §5.2).  A failed
+        repair (no working MCS anywhere) returns ``found_mcs=None``; the
+        caller falls back to BA + a second RA round.
+        """
+        if not 0 <= start_mcs < X60_NUM_MCS:
+            raise ValueError(f"start_mcs {start_mcs} out of range")
+        frames = 0
+        search_bytes = 0.0
+        max_tput = initial_throughput_mbps
+        best_mcs: Optional[int] = None
+        for mcs in range(start_mcs, -1, -1):
+            frames += 1
+            tput = float(traces.throughput_mbps[mcs])
+            search_bytes += tput * 1e6 / 8.0 * self.frame_time_s
+            if tput < max_tput:
+                # Throughput turned down: settle at the previous MCS.
+                break
+            max_tput = tput
+            if self._is_working(traces, mcs):
+                best_mcs = mcs
+        if best_mcs is None:
+            return RAResult(None, frames, search_bytes, 0.0)
+        return RAResult(
+            best_mcs, frames, search_bytes, float(traces.throughput_mbps[best_mcs])
+        )
+
+    @staticmethod
+    def _is_working(traces: McsTraces, mcs: int) -> bool:
+        from repro.constants import WORKING_MCS_MIN_CDR, WORKING_MCS_MIN_THROUGHPUT_MBPS
+
+        return (
+            traces.cdr[mcs] > WORKING_MCS_MIN_CDR
+            and traces.throughput_mbps[mcs] > WORKING_MCS_MIN_THROUGHPUT_MBPS
+        )
+
+    def frames(
+        self, traces: McsTraces, settled_mcs: int, num_frames: int
+    ) -> Iterator[FrameOutcome]:
+        """Simulate ``num_frames`` frames of steady-state operation.
+
+        Upward probes fire every T frames; a probe transmits one frame at
+        ``mcs+1``.  A failed probe (lower throughput than the settled MCS)
+        doubles T up to the cap; a successful one moves the settled MCS up
+        and resets T.
+        """
+        current = settled_mcs
+        failed_probes = 0
+        interval = self.probe_interval_min
+        since_probe = 0
+        for _ in range(num_frames):
+            probe_now = (
+                current < len(self.mcs_set) - 1
+                and since_probe >= interval
+                and traces.cdr[current] > cdr_ori_threshold(current, self.mcs_set)
+            )
+            if probe_now:
+                higher = current + 1
+                tput_higher = float(traces.throughput_mbps[higher])
+                yield FrameOutcome(higher, tput_higher, probing=True)
+                since_probe = 0
+                if tput_higher > float(traces.throughput_mbps[current]):
+                    current = higher
+                    failed_probes = 0
+                    interval = self.probe_interval_min
+                else:
+                    failed_probes += 1
+                    interval = self.probe_interval_min * min(
+                        2 ** failed_probes, self.probe_backoff_cap
+                    )
+            else:
+                yield FrameOutcome(current, float(traces.throughput_mbps[current]), False)
+                since_probe += 1
+
+    def steady_state_bytes(
+        self, traces: McsTraces, settled_mcs: int, duration_s: float
+    ) -> float:
+        """Bytes delivered over ``duration_s`` of steady-state operation,
+        including the probing tax."""
+        num_frames = max(0, int(duration_s / self.frame_time_s))
+        total = 0.0
+        for outcome in self.frames(traces, settled_mcs, num_frames):
+            total += outcome.throughput_mbps * 1e6 / 8.0 * self.frame_time_s
+        # Fractional tail frame at the settled rate.
+        remainder = duration_s - num_frames * self.frame_time_s
+        if remainder > 0:
+            total += float(traces.throughput_mbps[settled_mcs]) * 1e6 / 8.0 * remainder
+        return total

@@ -1,0 +1,114 @@
+"""SNR-mapped rate adaptation — the baseline the paper argues against.
+
+Early 60 GHz work proposed picking the MCS directly from an SNR
+measurement via a static SNR→MCS table (§2: "suggested the use of simple
+SNR-based RA algorithms via a direct SNR-MCS mapping").  The paper's
+position, demonstrated experimentally in its companion work, is that MCS
+is only weakly correlated with SNR on real hardware, so SNR mapping picks
+wrong rungs while frame-based RA — which measures actual delivered
+throughput — does not.
+
+Two real-world error sources are modelled:
+
+* ``estimate_noise_std_db`` — the SNR reading itself is noisy;
+* ``threshold_bias_db`` — the device's *actual* decode thresholds differ
+  from the nominal table (per-beam hardware variation, temperature,
+  codebook imperfections).  This is the weak-correlation effect: the
+  mapping is static, the waterfall is not.
+
+The class mirrors :class:`~repro.core.rate_adaptation.RateAdaptation`'s
+trace-driven interface so the two are directly comparable on the same
+recorded link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.mcs import X60_MCS_SET, MCSSet
+from repro.core.rate_adaptation import RAResult
+from repro.testbed.traces import McsTraces
+
+
+@dataclass
+class SnrMappedRateAdaptation:
+    """Pick the MCS from an SNR reading and a static threshold table.
+
+    Args:
+        frame_time_s: Frame duration (for byte accounting parity with the
+            frame-based algorithm).
+        backoff_margin_db: Safety margin subtracted from the estimate
+            before the table lookup (vendors use 1-3 dB).
+        estimate_noise_std_db: Noise on each SNR reading.
+        threshold_bias_db: Systematic offset between the nominal table and
+            the link's true waterfall positions (can be negative).
+    """
+
+    frame_time_s: float
+    mcs_set: MCSSet = field(default_factory=lambda: X60_MCS_SET)
+    backoff_margin_db: float = 1.0
+    estimate_noise_std_db: float = 1.0
+    threshold_bias_db: float = 0.0
+
+    def select_mcs(self, snr_db: float, rng: Optional[np.random.Generator] = None) -> int:
+        """The table lookup: highest MCS whose (biased) threshold clears
+        the (noisy) estimate minus the safety margin."""
+        estimate = snr_db
+        if rng is not None and self.estimate_noise_std_db > 0:
+            estimate += float(rng.normal(0.0, self.estimate_noise_std_db))
+        usable = estimate - self.backoff_margin_db
+        choice = 0
+        for index, mcs in enumerate(self.mcs_set):
+            if mcs.snr_threshold_db + self.threshold_bias_db <= usable:
+                choice = index
+        return choice
+
+    def repair(
+        self,
+        traces: McsTraces,
+        snr_db: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> RAResult:
+        """One-shot repair: read the SNR, jump to the mapped MCS.
+
+        Costs a single frame (the mapping needs no probing — its selling
+        point); the catch is that the settled MCS reflects the *table*,
+        not the link, so its realised throughput can be far below what a
+        probing search would have found, and the chosen MCS may not even
+        be working.
+        """
+        choice = self.select_mcs(snr_db, rng)
+        tput = float(traces.throughput_mbps[choice])
+        search_bytes = tput * 1e6 / 8.0 * self.frame_time_s
+        working = traces.best_mcs(max_mcs=choice) == choice
+        if not working:
+            return RAResult(None, 1, search_bytes, 0.0)
+        return RAResult(choice, 1, search_bytes, tput)
+
+    def steady_state_bytes(
+        self,
+        traces: McsTraces,
+        snr_db: float,
+        duration_s: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Bytes delivered holding the mapped MCS for ``duration_s``.
+
+        The mapping re-reads the SNR once per frame, so estimate noise
+        makes it dither between adjacent rungs.
+        """
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        num_frames = int(duration_s / self.frame_time_s)
+        total = 0.0
+        for _ in range(num_frames):
+            choice = self.select_mcs(snr_db, rng)
+            total += float(traces.throughput_mbps[choice]) * 1e6 / 8.0 * self.frame_time_s
+        remainder = duration_s - num_frames * self.frame_time_s
+        if remainder > 0:
+            choice = self.select_mcs(snr_db, rng)
+            total += float(traces.throughput_mbps[choice]) * 1e6 / 8.0 * remainder
+        return total

@@ -1,0 +1,23 @@
+"""COTS 802.11ad device models for the §3 motivation study."""
+
+from repro.cots.device import (
+    CotsDevice,
+    DeviceProfile,
+    PHONE_PROFILE,
+    AP_PROFILE,
+    SessionLog,
+    run_static_session,
+    run_blockage_session,
+    run_mobility_session,
+)
+
+__all__ = [
+    "CotsDevice",
+    "DeviceProfile",
+    "PHONE_PROFILE",
+    "AP_PROFILE",
+    "SessionLog",
+    "run_static_session",
+    "run_blockage_session",
+    "run_mobility_session",
+]

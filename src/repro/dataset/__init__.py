@@ -1,0 +1,23 @@
+"""The §4-§5 dataset pipeline: entry records, the measurement-campaign
+builder, and file I/O."""
+
+from repro.dataset.entry import DatasetEntry, Dataset, ImpairmentKind
+from repro.dataset.builder import (
+    DatasetBuildConfig,
+    build_dataset,
+    build_main_dataset,
+    build_testing_dataset,
+)
+from repro.dataset.io import save_dataset, load_dataset
+
+__all__ = [
+    "DatasetEntry",
+    "Dataset",
+    "ImpairmentKind",
+    "DatasetBuildConfig",
+    "build_dataset",
+    "build_main_dataset",
+    "build_testing_dataset",
+    "save_dataset",
+    "load_dataset",
+]

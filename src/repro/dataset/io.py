@@ -1,0 +1,153 @@
+"""Dataset persistence.
+
+Two formats:
+
+* **JSON lines** (full fidelity): one line per entry including the per-MCS
+  traces for both beam pairs, so ground truth can be relabelled under any
+  protocol configuration.  Versioned.
+* **CSV** (the shape of the paper\'s public dataset release): one row per
+  entry with the seven features, the label, and the provenance columns —
+  enough to train classifiers, not enough to re-run the §8 simulations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.ground_truth import Action
+from repro.core.metrics import FeatureVector
+from repro.dataset.entry import Dataset, DatasetEntry, ImpairmentKind
+from repro.testbed.traces import McsTraces
+
+FORMAT_VERSION = 1
+
+
+def _entry_to_dict(entry: DatasetEntry) -> dict:
+    return {
+        "kind": entry.kind.value,
+        "room": entry.room,
+        "position_label": entry.position_label,
+        "detail": entry.detail,
+        "rep": entry.rep,
+        "features": list(entry.features.to_array()),
+        "label": entry.label.value,
+        "initial_mcs": entry.initial_mcs,
+        "initial_throughput_mbps": entry.initial_throughput_mbps,
+        "cdr_same": list(entry.traces_same_pair.cdr),
+        "tput_same": list(entry.traces_same_pair.throughput_mbps),
+        "cdr_best": list(entry.traces_best_pair.cdr),
+        "tput_best": list(entry.traces_best_pair.throughput_mbps),
+    }
+
+
+def _entry_from_dict(record: dict) -> DatasetEntry:
+    return DatasetEntry(
+        kind=ImpairmentKind(record["kind"]),
+        room=record["room"],
+        position_label=record["position_label"],
+        detail=record.get("detail", ""),
+        rep=int(record["rep"]),
+        features=FeatureVector.from_array(np.array(record["features"])),
+        label=Action(record["label"]),
+        initial_mcs=int(record["initial_mcs"]),
+        initial_throughput_mbps=float(record["initial_throughput_mbps"]),
+        traces_same_pair=McsTraces(
+            np.array(record["cdr_same"]), np.array(record["tput_same"])
+        ),
+        traces_best_pair=McsTraces(
+            np.array(record["cdr_best"]), np.array(record["tput_best"])
+        ),
+    )
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> None:
+    """Write the dataset as JSON lines (header line + one line per entry)."""
+    path = Path(path)
+    with path.open("w") as handle:
+        header = {"version": FORMAT_VERSION, "name": dataset.name, "entries": len(dataset)}
+        handle.write(json.dumps(header) + "\n")
+        for entry in dataset:
+            handle.write(json.dumps(_entry_to_dict(entry)) + "\n")
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    path = Path(path)
+    with path.open() as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path} is empty")
+        header = json.loads(header_line)
+        version = header.get("version")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported dataset format version {version!r}")
+        dataset = Dataset(name=header.get("name", "dataset"))
+        for line in handle:
+            line = line.strip()
+            if line:
+                dataset.append(_entry_from_dict(json.loads(line)))
+    expected = header.get("entries")
+    if expected is not None and expected != len(dataset):
+        raise ValueError(
+            f"{path} is truncated: header promises {expected} entries, found {len(dataset)}"
+        )
+    return dataset
+
+
+# ---------------------------------------------------------------------------
+# CSV (public-artifact shape)
+# ---------------------------------------------------------------------------
+
+import csv
+
+from repro.core.metrics import FEATURE_NAMES
+
+CSV_COLUMNS = ("kind", "room", "position", "detail", *FEATURE_NAMES, "label")
+
+
+def save_features_csv(dataset: Dataset, path: str | Path) -> None:
+    """Write the features-and-labels view (the paper\'s released format)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        for entry in dataset:
+            features = entry.features.to_array()
+            writer.writerow(
+                [
+                    entry.kind.value,
+                    entry.room,
+                    entry.position_label,
+                    entry.detail,
+                    *(f"{value:.6g}" for value in features),
+                    entry.label.value,
+                ]
+            )
+
+
+def load_features_csv(path: str | Path) -> tuple[np.ndarray, np.ndarray, list[dict]]:
+    """Read a CSV written by :func:`save_features_csv`.
+
+    Returns ``(X, y, provenance)`` — a feature matrix, label array, and a
+    per-row provenance dict (kind/room/position/detail).  Raises
+    ``ValueError`` on a header mismatch.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != CSV_COLUMNS:
+            raise ValueError(f"{path} is not a LiBRA features CSV")
+        rows = list(reader)
+    if not rows:
+        return np.empty((0, len(FEATURE_NAMES))), np.array([]), []
+    X = np.array([[float(v) for v in row[4:-1]] for row in rows])
+    y = np.array([row[-1] for row in rows])
+    provenance = [
+        {"kind": row[0], "room": row[1], "position": row[2], "detail": row[3]}
+        for row in rows
+    ]
+    return X, y, provenance

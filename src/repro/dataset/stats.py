@@ -1,0 +1,105 @@
+"""Dataset statistics beyond the Table-1 summary.
+
+Per-room and per-detail breakdowns, feature summaries by class, and the
+initial-MCS distribution — the numbers a researcher reaches for when
+sanity-checking a measurement campaign before training on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import FEATURE_NAMES
+from repro.dataset.entry import Dataset, ImpairmentKind
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """One feature's distribution, split by winning mechanism."""
+
+    feature: str
+    ba_median: float
+    ra_median: float
+    ba_iqr: tuple[float, float]
+    ra_iqr: tuple[float, float]
+
+    def separation(self) -> float:
+        """|median gap| normalised by the pooled IQR width (0 = none)."""
+        width = (
+            (self.ba_iqr[1] - self.ba_iqr[0]) + (self.ra_iqr[1] - self.ra_iqr[0])
+        ) / 2.0
+        if width <= 0:
+            return 0.0
+        return abs(self.ba_median - self.ra_median) / width
+
+
+def per_room_summary(dataset: Dataset) -> dict[str, dict[str, int]]:
+    """Entries and BA/RA split per environment."""
+    rooms: dict[str, dict[str, int]] = {}
+    for entry in dataset.without_na():
+        row = rooms.setdefault(entry.room, {"total": 0, "BA": 0, "RA": 0})
+        row["total"] += 1
+        row[entry.label.value] += 1
+    return rooms
+
+
+def per_detail_summary(
+    dataset: Dataset, kind: ImpairmentKind
+) -> dict[str, dict[str, int]]:
+    """BA/RA split per scenario detail (blocker spot, interference level,
+    motion type) within one impairment family."""
+    details: dict[str, dict[str, int]] = {}
+    for entry in dataset.of_kind(kind):
+        key = entry.detail.split("/")[0] if entry.detail else "(none)"
+        row = details.setdefault(key, {"total": 0, "BA": 0, "RA": 0})
+        row["total"] += 1
+        row[entry.label.value] += 1
+    return details
+
+
+def feature_class_summaries(dataset: Dataset) -> list[ClassSummary]:
+    """Median + IQR of every feature, split by BA-wins vs RA-wins."""
+    labelled = dataset.without_na()
+    X = labelled.feature_matrix()
+    y = labelled.labels()
+    ba = y == "BA"
+    if ba.all() or (~ba).all():
+        raise ValueError("need both classes present")
+    summaries = []
+    for index, feature in enumerate(FEATURE_NAMES):
+        ba_values = X[ba, index]
+        ra_values = X[~ba, index]
+        summaries.append(
+            ClassSummary(
+                feature=feature,
+                ba_median=float(np.median(ba_values)),
+                ra_median=float(np.median(ra_values)),
+                ba_iqr=tuple(np.percentile(ba_values, [25, 75])),
+                ra_iqr=tuple(np.percentile(ra_values, [25, 75])),
+            )
+        )
+    return summaries
+
+
+def initial_mcs_histogram(dataset: Dataset) -> np.ndarray:
+    """Counts of the initial best MCS across the campaign (Fig. 9's axis)."""
+    counts = np.zeros(9, dtype=int)
+    for entry in dataset.without_na():
+        counts[entry.initial_mcs] += 1
+    return counts
+
+
+def label_consistency(dataset: Dataset) -> float:
+    """Fraction of (room, position, detail) state groups whose repeated
+    measurements all agree on the label — the dataset's intrinsic label
+    stability (1.0 = perfectly repeatable ground truth)."""
+    groups: dict[tuple, set] = {}
+    for entry in dataset.without_na():
+        key = (entry.room, entry.position_label, entry.detail)
+        groups.setdefault(key, set()).add(entry.label.value)
+    if not groups:
+        raise ValueError("dataset has no labelled entries")
+    consistent = sum(1 for labels in groups.values() if len(labels) == 1)
+    return consistent / len(groups)

@@ -1,0 +1,152 @@
+"""Mobility trajectories → scripted link events for the live simulator.
+
+The §3 and §8 scenarios all reduce to a few motion primitives — walk away
+facing the AP, rotate in place, pace across the LOS — sampled at a fixed
+update rate.  A trajectory yields the Rx pose over time; helpers convert
+it (and periodic blockers) into the :class:`~repro.sim.live.LinkEvent`
+scripts the closed-loop sessions consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.env.geometry import Point
+from repro.env.placement import RadioPose
+from repro.phy.blockage import HumanBlocker
+
+PoseFn = Callable[[float], RadioPose]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """An Rx pose as a function of time, plus its duration."""
+
+    pose_at: PoseFn
+    duration_s: float
+    name: str = "trajectory"
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("trajectory duration must be positive")
+
+    def sample(self, update_period_s: float) -> Iterator[tuple[float, RadioPose]]:
+        """(time, pose) samples every ``update_period_s``, starting at 0."""
+        if update_period_s <= 0:
+            raise ValueError("update period must be positive")
+        t = 0.0
+        while t < self.duration_s:
+            yield t, self.pose_at(t)
+            t += update_period_s
+
+
+def walk_away(
+    start: Point,
+    toward_deg: float,
+    speed_m_s: float,
+    duration_s: float,
+    facing: Optional[float] = None,
+    lateral_drift_m_s: float = 0.0,
+) -> Trajectory:
+    """Walk from ``start`` along ``toward_deg`` at constant speed.
+
+    ``facing`` fixes the Rx orientation (default: opposite the walk — the
+    client backs away while facing the AP, the paper's §3 mobility case);
+    ``lateral_drift_m_s`` adds the sideways wander of a real walker.
+    """
+    if speed_m_s < 0:
+        raise ValueError("speed cannot be negative")
+    heading = math.radians(toward_deg)
+    lateral = math.radians(toward_deg + 90.0)
+    orientation = facing if facing is not None else toward_deg + 180.0
+
+    def pose(t: float) -> RadioPose:
+        x = start.x + speed_m_s * t * math.cos(heading) + (
+            lateral_drift_m_s * t * math.cos(lateral)
+        )
+        y = start.y + speed_m_s * t * math.sin(heading) + (
+            lateral_drift_m_s * t * math.sin(lateral)
+        )
+        return RadioPose(Point(x, y), orientation)
+
+    return Trajectory(pose, duration_s, "walk-away")
+
+
+def rotate_in_place(
+    position: Point,
+    start_deg: float,
+    rate_deg_s: float,
+    duration_s: float,
+) -> Trajectory:
+    """Spin at a constant angular rate (the rotation scenarios of §4.2)."""
+
+    def pose(t: float) -> RadioPose:
+        return RadioPose(position, start_deg + rate_deg_s * t)
+
+    return Trajectory(pose, duration_s, "rotate-in-place")
+
+
+def pace_across(
+    a: Point,
+    b: Point,
+    period_s: float,
+    duration_s: float,
+    orientation_deg: float,
+) -> Trajectory:
+    """Walk back and forth between ``a`` and ``b`` (one full loop per
+    ``period_s``) — the pacing-person blocker of the pattern-learning
+    extension, as a trajectory."""
+    if period_s <= 0:
+        raise ValueError("period must be positive")
+
+    def pose(t: float) -> RadioPose:
+        phase = (t % period_s) / period_s
+        f = 2 * phase if phase < 0.5 else 2 * (1 - phase)  # triangle wave
+        return RadioPose(
+            Point(a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f), orientation_deg
+        )
+
+    return Trajectory(pose, duration_s, "pace-across")
+
+
+def trajectory_events(
+    trajectory: Trajectory, update_period_s: float = 0.1
+) -> list:
+    """The trajectory as a list of live-simulator events."""
+    from repro.sim.live import LinkEvent
+
+    return [
+        LinkEvent(at_s=t, rx=pose)
+        for t, pose in trajectory.sample(update_period_s)
+        if t > 0.0  # t = 0 is the session's initial pose
+    ]
+
+
+def periodic_blockage_events(
+    crossing_point: Point,
+    facing_deg: float,
+    period_s: float,
+    block_fraction: float,
+    duration_s: float,
+    loss_db: float = 25.0,
+) -> list:
+    """A blocker that occupies ``crossing_point`` for ``block_fraction`` of
+    every ``period_s`` — the periodic pacer, as on/off events."""
+    from repro.sim.live import LinkEvent
+
+    if not 0.0 < block_fraction < 1.0:
+        raise ValueError("block_fraction must be in (0, 1)")
+    if period_s <= 0 or duration_s <= 0:
+        raise ValueError("period and duration must be positive")
+    blocker = HumanBlocker(crossing_point, facing_deg, loss_db)
+    events = []
+    t = period_s * (1.0 - block_fraction)  # first arrival after a clear lead-in
+    while t < duration_s:
+        events.append(LinkEvent(at_s=t, blockers=(blocker,)))
+        leave = t + period_s * block_fraction
+        if leave < duration_s:
+            events.append(LinkEvent(at_s=leave, clear_blockers=True))
+        t += period_s
+    return events

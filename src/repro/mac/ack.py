@@ -1,0 +1,89 @@
+"""Block-ACK signalling.
+
+LiBRA is Tx-initiated (§7): the Tx learns the Rx-side PHY metrics from the
+Block ACKs that follow each aggregated frame (channel reciprocity carries
+the measurements; no new control frames are needed).  A *missing* ACK means
+the whole frame — including the feedback — was lost, which is itself the
+strongest possible degradation signal; LiBRA has a dedicated rule for it.
+
+The Rx returns an ACK when at least one codeword of the frame decodes; an
+all-lost frame produces no ACK.  With ``codewords`` units per frame the
+no-ACK probability is ``CER^codewords``, which collapses to ~0 unless CDR
+is essentially zero — matching real AMPDU behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.mac.framing import FrameConfig
+from repro.phy.error_model import codeword_delivery_ratio
+
+
+@dataclass(frozen=True)
+class BlockAck:
+    """Feedback returned for one aggregated frame.
+
+    ``metrics`` carries the Rx's PHY measurements piggybacked per §7; it is
+    ``None`` exactly when the ACK itself is missing.
+    """
+
+    frame_id: int
+    delivered_codewords: int
+    total_codewords: int
+    metrics: Optional[dict] = None
+
+    @property
+    def cdr(self) -> float:
+        if self.total_codewords == 0:
+            return 0.0
+        return self.delivered_codewords / self.total_codewords
+
+
+def no_ack_probability(snr_db: float, mcs: int, frame: FrameConfig) -> float:
+    """Probability that *no* codeword of a frame decodes (no Block ACK)."""
+    cdr = codeword_delivery_ratio(snr_db, mcs)
+    cer = 1.0 - cdr
+    if cer <= 0.0:
+        return 0.0
+    # CER^codewords underflows fast; cap the exponent computation.
+    log_p = frame.codewords * np.log(max(cer, 1e-300))
+    if log_p < -700.0:
+        return 0.0
+    return float(np.exp(log_p))
+
+
+def ack_received(
+    snr_db: float, mcs: int, frame: FrameConfig, rng: Optional[np.random.Generator] = None
+) -> bool:
+    """Sample whether a Block ACK comes back for one frame.
+
+    With ``rng=None`` the outcome is deterministic: ACK unless the no-ACK
+    probability exceeds 0.5 (useful for expectation-level simulation).
+    """
+    p_no_ack = no_ack_probability(snr_db, mcs, frame)
+    if rng is None:
+        return p_no_ack <= 0.5
+    return bool(rng.random() >= p_no_ack)
+
+
+def make_block_ack(
+    frame_id: int,
+    snr_db: float,
+    mcs: int,
+    frame: FrameConfig,
+    metrics: Optional[dict] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Optional[BlockAck]:
+    """Build the ACK for one frame, or ``None`` when the ACK is missing."""
+    if not ack_received(snr_db, mcs, frame, rng):
+        return None
+    cdr = codeword_delivery_ratio(snr_db, mcs)
+    if rng is None:
+        delivered = round(cdr * frame.codewords)
+    else:
+        delivered = int(rng.binomial(frame.codewords, cdr))
+    return BlockAck(frame_id, delivered, frame.codewords, metrics)

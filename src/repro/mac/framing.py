@@ -1,0 +1,70 @@
+"""TDMA frame structure.
+
+X60 uses 10 ms frames of 100 slots x 100 µs, each slot carrying 92
+CRC-protected codewords (paper §4.1) — structurally an 802.11 AMPDU whose
+MPDUs are the codewords.  802.11ad caps the aggregated frame at 2 ms.  The
+evaluation sweeps both values as the *frame aggregation time* (FAT, §8.1):
+RA probes one MCS per frame, so the FAT directly sets RA's per-step cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    AD_MAX_FRAME_DURATION_S,
+    X60_CODEWORDS_PER_SLOT,
+    X60_FRAME_DURATION_S,
+    X60_SLOTS_PER_FRAME,
+)
+
+
+@dataclass(frozen=True)
+class FrameConfig:
+    """Parameters of one aggregated frame.
+
+    Attributes:
+        duration_s: Frame aggregation time (FAT) — the on-air duration of
+            one aggregated transmission.
+        slots: TDMA slots per frame (1 for plain AMPDU protocols).
+        codewords_per_slot: CRC-protected units per slot.
+    """
+
+    duration_s: float
+    slots: int = 1
+    codewords_per_slot: int = X60_CODEWORDS_PER_SLOT
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("frame duration must be positive")
+        if self.slots < 1 or self.codewords_per_slot < 1:
+            raise ValueError("slots and codewords_per_slot must be >= 1")
+
+    @property
+    def codewords(self) -> int:
+        """Total CRC-protected units in one frame."""
+        return self.slots * self.codewords_per_slot
+
+    def with_duration(self, duration_s: float) -> "FrameConfig":
+        """The same layout scaled to a different FAT (slots scale with it)."""
+        scale = duration_s / self.duration_s
+        slots = max(1, round(self.slots * scale))
+        return FrameConfig(duration_s, slots, self.codewords_per_slot)
+
+
+X60_FRAME = FrameConfig(
+    duration_s=X60_FRAME_DURATION_S,
+    slots=X60_SLOTS_PER_FRAME,
+    codewords_per_slot=X60_CODEWORDS_PER_SLOT,
+)
+"""The X60 reference frame: 10 ms, 100 slots, 92 codewords each."""
+
+AD_FRAME = X60_FRAME.with_duration(AD_MAX_FRAME_DURATION_S)
+"""An 802.11ad-style maximal AMPDU: 2 ms with proportionally fewer slots."""
+
+
+def frames_in(duration_s: float, frame: FrameConfig) -> int:
+    """Whole frames that fit in ``duration_s`` (floor)."""
+    if duration_s < 0:
+        raise ValueError("duration must be non-negative")
+    return int(duration_s / frame.duration_s)

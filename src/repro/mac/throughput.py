@@ -1,0 +1,31 @@
+"""Throughput and byte accounting on top of the framing model."""
+
+from __future__ import annotations
+
+from repro.mac.framing import FrameConfig
+from repro.phy.error_model import codeword_delivery_ratio, phy_rate_mbps
+
+
+def frame_payload_bytes(mcs: int, frame: FrameConfig) -> float:
+    """Bytes carried by one full frame at ``mcs`` assuming perfect delivery.
+
+    Derived from the PHY rate over the frame duration rather than from
+    codeword sizes, so it stays exact for scaled frame configs.
+    """
+    return phy_rate_mbps(mcs) * 1e6 / 8.0 * frame.duration_s
+
+
+def bytes_delivered(snr_db: float, mcs: int, duration_s: float) -> float:
+    """Expected bytes delivered over ``duration_s`` of transmission at
+    ``mcs`` under the given SNR (PHY rate x CDR x time)."""
+    if duration_s < 0:
+        raise ValueError("duration must be non-negative")
+    rate_bps = phy_rate_mbps(mcs) * 1e6 * codeword_delivery_ratio(snr_db, mcs)
+    return rate_bps / 8.0 * duration_s
+
+
+def throughput_from_bytes(total_bytes: float, duration_s: float) -> float:
+    """Average throughput in Mbps given bytes delivered over a duration."""
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    return total_bytes * 8.0 / 1e6 / duration_s

@@ -1,0 +1,60 @@
+"""Common estimator interface and input validation."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+def check_Xy(X, y=None) -> tuple[np.ndarray, np.ndarray | None]:
+    """Validate and canonicalise a feature matrix (and optional labels).
+
+    Returns float64 ``X`` of shape (n_samples, n_features) and, when given,
+    an object-dtype ``y`` of matching length.  Raises ``ValueError`` on
+    empty inputs, NaN/inf features, or shape mismatches.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if X.shape[0] == 0 or X.shape[1] == 0:
+        raise ValueError("X must not be empty")
+    if not np.isfinite(X).all():
+        raise ValueError("X contains NaN or infinite values")
+    if y is None:
+        return X, None
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError("y must be 1-D")
+    if len(y) != X.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {len(y)}")
+    return X, y
+
+
+class Estimator(abc.ABC):
+    """A classifier with the usual fit/predict contract.
+
+    Labels can be any hashable values (the LiBRA pipeline uses the strings
+    'RA'/'BA'/'NA'); implementations must return labels of the same dtype
+    they were fitted with.
+    """
+
+    @abc.abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Estimator":
+        """Train on (X, y); returns self for chaining."""
+
+    @abc.abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict one label per row of X."""
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on (X, y)."""
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(y, self.predict(X))
+
+    def _require_fitted(self, attribute: str) -> None:
+        if getattr(self, attribute, None) is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted yet")

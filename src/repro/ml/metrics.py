@@ -1,0 +1,73 @@
+"""Classification metrics: accuracy, weighted F1, confusion matrix.
+
+The paper reports accuracy and the *weighted* F1 score (per-class F1
+averaged with class-support weights), which is the fair summary for the
+imbalanced BA/RA split of Table 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> tuple[np.ndarray, np.ndarray]:
+    """Counts[i, j] = samples with true label i predicted as j.
+
+    Returns ``(matrix, labels)`` — the label order is returned because
+    callers usually need it for display.
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix, labels
+
+
+def f1_score_weighted(y_true, y_pred) -> float:
+    """Support-weighted mean of per-class F1 scores.
+
+    Classes absent from ``y_true`` contribute nothing; a class with zero
+    predicted and zero true positives gets F1 = 0 (the usual convention).
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    matrix, labels = confusion_matrix(y_true, y_pred)
+    total = 0.0
+    support_total = 0
+    for i, _label in enumerate(labels):
+        tp = matrix[i, i]
+        fp = matrix[:, i].sum() - tp
+        fn = matrix[i, :].sum() - tp
+        support = matrix[i, :].sum()
+        if support == 0:
+            continue
+        precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+        recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+        f1 = (
+            2.0 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        total += f1 * support
+        support_total += support
+    return total / support_total if support_total else 0.0

@@ -1,0 +1,91 @@
+"""Online model maintenance — the deployment extension §7 leaves open.
+
+The paper argues offline training suffices when the training campaign is
+comprehensive, but its companion work found learned RA to be
+"environment-dependent and requires online training".  This wrapper gives
+LiBRA that option: labelled decisions accumulate in a bounded buffer and
+the forest is refit once enough fresh evidence arrives — a pragmatic
+batched form of online learning that suits a firmware deployment (refits
+are rare, bounded-cost, and happen off the fast path).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import check_Xy
+from repro.ml.forest import RandomForestClassifier
+
+
+@dataclass
+class OnlineForest:
+    """A random forest with a sliding training buffer.
+
+    Args:
+        base_X / base_y: The offline training set (always retained — the
+            buffer augments it, it does not replace it, so a burst of
+            unusual conditions cannot wipe the model's foundation).
+        buffer_size: Maximum online samples kept (FIFO eviction).
+        refit_every: Refit after this many new samples.
+        n_estimators / max_depth / random_state: Forest parameters.
+    """
+
+    base_X: np.ndarray
+    base_y: np.ndarray
+    buffer_size: int = 500
+    refit_every: int = 50
+    n_estimators: int = 40
+    max_depth: Optional[int] = 14
+    random_state: int = 0
+    _buffer_X: deque = field(init=False, repr=False)
+    _buffer_y: deque = field(init=False, repr=False)
+    _since_refit: int = field(default=0, init=False, repr=False)
+    _model: RandomForestClassifier = field(init=False, repr=False)
+    refits: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.base_X, self.base_y = check_Xy(self.base_X, self.base_y)
+        if self.buffer_size < 1 or self.refit_every < 1:
+            raise ValueError("buffer_size and refit_every must be positive")
+        self._buffer_X = deque(maxlen=self.buffer_size)
+        self._buffer_y = deque(maxlen=self.buffer_size)
+        self._model = self._fit()
+
+    def _fit(self) -> RandomForestClassifier:
+        if self._buffer_X:
+            X = np.vstack([self.base_X, np.stack(self._buffer_X)])
+            y = np.concatenate([self.base_y, np.array(self._buffer_y)])
+        else:
+            X, y = self.base_X, self.base_y
+        model = RandomForestClassifier(
+            n_estimators=self.n_estimators,
+            max_depth=self.max_depth,
+            random_state=self.random_state,
+        )
+        return model.fit(X, y)
+
+    def observe(self, features: np.ndarray, label: str) -> None:
+        """Record one labelled decision; refits when the quota fills."""
+        features = np.asarray(features, dtype=float).reshape(-1)
+        if features.shape[0] != self.base_X.shape[1]:
+            raise ValueError(
+                f"expected {self.base_X.shape[1]} features, got {features.shape[0]}"
+            )
+        self._buffer_X.append(features)
+        self._buffer_y.append(label)
+        self._since_refit += 1
+        if self._since_refit >= self.refit_every:
+            self._model = self._fit()
+            self._since_refit = 0
+            self.refits += 1
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Classifier protocol — plugs straight into LiBRA."""
+        return self._model.predict(X)
+
+    def buffer_fill(self) -> int:
+        return len(self._buffer_X)

@@ -1,0 +1,156 @@
+"""Kernel SVM trained in the dual (paper §6.2: "for SVM, we tried both
+linear and non-linear classification metrics and different regularization
+parameters").
+
+Binary sub-problems are solved by exact coordinate ascent on the box-
+constrained dual with the bias absorbed into the kernel (``K + 1`` — the
+standard augmented-kernel trick, which removes the equality constraint).
+Multi-class is one-vs-rest over decision values.  The datasets here are a
+few hundred rows, so the dense-kernel formulation is exactly right.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.ml.base import Estimator, check_Xy
+
+
+def linear_kernel(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    return A @ B.T
+
+
+def rbf_kernel(A: np.ndarray, B: np.ndarray, gamma: float) -> np.ndarray:
+    sq = (
+        np.sum(A * A, axis=1)[:, None]
+        + np.sum(B * B, axis=1)[None, :]
+        - 2.0 * (A @ B.T)
+    )
+    return np.exp(-gamma * np.maximum(sq, 0.0))
+
+
+class _BinarySVM:
+    """One box-constrained dual solver (labels ±1).
+
+    Exact coordinate ascent: each pass maximises the dual in every α_i
+    analytically (clip(α_i + (1 − (Qα)_i) / Q_ii, 0, C)) while maintaining
+    the gradient incrementally — the liblinear dual-CD recipe, which
+    converges in a handful of passes on these dataset sizes.
+    """
+
+    def __init__(self, C: float, max_iter: int, tol: float):
+        self.C = C
+        self.max_iter = max_iter
+        self.tol = tol
+        self.alpha: Optional[np.ndarray] = None
+
+    def fit(self, K_aug: np.ndarray, y_pm: np.ndarray, rng: np.random.Generator) -> None:
+        n = len(y_pm)
+        alpha = np.zeros(n)
+        Q = (y_pm[:, None] * y_pm[None, :]) * K_aug
+        q_alpha = np.zeros(n)  # Q @ alpha, maintained incrementally
+        diag = np.maximum(np.diag(Q), 1e-12)
+        for _ in range(self.max_iter):
+            largest_step = 0.0
+            for i in rng.permutation(n):
+                new_value = alpha[i] + (1.0 - q_alpha[i]) / diag[i]
+                new_value = min(max(new_value, 0.0), self.C)
+                delta = new_value - alpha[i]
+                if delta != 0.0:
+                    q_alpha += delta * Q[:, i]
+                    alpha[i] = new_value
+                    largest_step = max(largest_step, abs(delta))
+            if largest_step < self.tol:
+                break
+        self.alpha = alpha
+
+    def decision(self, K_aug_test: np.ndarray, y_pm: np.ndarray) -> np.ndarray:
+        return K_aug_test @ (self.alpha * y_pm)
+
+
+class SVMClassifier(Estimator):
+    """One-vs-rest kernel SVM.
+
+    Args:
+        kernel: ``"rbf"`` (default) or ``"linear"``.
+        C: Box constraint (regularisation inverse).
+        gamma: RBF width; ``"scale"`` uses 1/(n_features · Var[X]).
+        max_iter / tol: Dual solver stopping criteria.
+    """
+
+    def __init__(
+        self,
+        kernel: str = "rbf",
+        C: float = 1.0,
+        gamma: float | str = "scale",
+        max_iter: int = 50,
+        tol: float = 1e-4,
+        standardize: bool = True,
+        random_state: Optional[int] = 0,
+    ):
+        if kernel not in ("rbf", "linear"):
+            raise ValueError("kernel must be 'rbf' or 'linear'")
+        if C <= 0:
+            raise ValueError("C must be positive")
+        self.kernel = kernel
+        self.C = C
+        self.gamma = gamma
+        self.max_iter = max_iter
+        self.tol = tol
+        self.standardize = standardize
+        self.random_state = random_state
+        self.classes_: Optional[np.ndarray] = None
+        self._X: Optional[np.ndarray] = None
+        self._machines: Optional[list[tuple[_BinarySVM, np.ndarray]]] = None
+        self._gamma_value: float = 1.0
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    def _kernel(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        if self.kernel == "linear":
+            return linear_kernel(A, B)
+        return rbf_kernel(A, B, self._gamma_value)
+
+    def fit(self, X, y) -> "SVMClassifier":
+        X, y = check_Xy(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) < 2:
+            raise ValueError("SVM needs at least two classes")
+        if self.standardize:
+            # Kernel widths assume comparable feature scales; the LiBRA
+            # features span raw dB, ns, and [0, 1] similarities.
+            self._mean = X.mean(axis=0)
+            self._scale = X.std(axis=0)
+            self._scale[self._scale == 0.0] = 1.0
+            X = (X - self._mean) / self._scale
+        if self.gamma == "scale":
+            var = float(X.var())
+            self._gamma_value = 1.0 / (X.shape[1] * var) if var > 0 else 1.0
+        else:
+            self._gamma_value = float(self.gamma)
+        self._X = X
+        rng = np.random.default_rng(self.random_state)
+        K_aug = self._kernel(X, X) + 1.0  # +1 absorbs the bias
+        self._machines = []
+        for cls in self.classes_:
+            y_pm = np.where(y == cls, 1.0, -1.0)
+            machine = _BinarySVM(self.C, self.max_iter, self.tol)
+            machine.fit(K_aug, y_pm, rng)
+            self._machines.append((machine, y_pm))
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """One-vs-rest decision values, shape (n_samples, n_classes)."""
+        self._require_fitted("_machines")
+        X, _ = check_Xy(X)
+        if self.standardize:
+            X = (X - self._mean) / self._scale
+        K_aug = self._kernel(X, self._X) + 1.0
+        columns = [machine.decision(K_aug, y_pm) for machine, y_pm in self._machines]
+        return np.stack(columns, axis=1)
+
+    def predict(self, X) -> np.ndarray:
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]

@@ -1,0 +1,364 @@
+"""Geometric 60 GHz indoor channel: image-method ray tracing.
+
+The channel between a Tx pose and an Rx position is a *sparse* set of rays —
+the LOS path plus first- and second-order wall/clutter reflections — which
+is exactly the regime the paper leans on ("owing to the sparsity of 60 GHz
+channels", §6.1).  Each ray carries:
+
+* angle of departure (AoD) at the Tx and angle of arrival (AoA) at the Rx,
+  both in the global frame — beam gains are applied later relative to each
+  antenna's orientation;
+* path length → propagation delay (ToF) and free-space + oxygen loss;
+* accumulated reflection loss;
+* blockage loss if the ray crosses a human blocker.
+
+Received power for a (Tx beam, Rx beam) pair is the incoherent sum of
+per-ray powers weighted by both beam gains.  Incoherent combining is the
+right abstraction here: we model 1 s averages of a 2 GHz-wide channel whose
+taps are resolvable, not instantaneous fading.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.constants import SPEED_OF_LIGHT_M_S
+from repro.env.geometry import (
+    Point,
+    Segment,
+    mirror_point,
+    path_is_clear,
+    segment_intersection,
+)
+from repro.env.rooms import Room
+from repro.phy.antenna import Beam, Codebook
+from repro.phy.propagation import path_loss_db
+
+
+@dataclass(frozen=True)
+class Ray:
+    """One propagation path between Tx and Rx."""
+
+    aod_deg: float
+    aoa_deg: float
+    path_length_m: float
+    loss_db: float
+    order: int  # 0 = LOS, 1 = single bounce, 2 = double bounce
+    via: tuple[str, ...] = ()
+
+    @property
+    def delay_s(self) -> float:
+        return self.path_length_m / SPEED_OF_LIGHT_M_S
+
+    @property
+    def delay_ns(self) -> float:
+        return self.delay_s * 1e9
+
+
+@dataclass(frozen=True)
+class LinkGeometry:
+    """Everything needed to trace the channel for one link instant."""
+
+    room: Room
+    tx_position: Point
+    rx_position: Point
+    blockers: tuple[Segment, ...] = ()
+
+    def with_blockers(self, blockers: Sequence[Segment]) -> "LinkGeometry":
+        return LinkGeometry(self.room, self.tx_position, self.rx_position, tuple(blockers))
+
+
+@dataclass
+class ChannelState:
+    """The traced channel: rays plus the noise conditions at the Rx.
+
+    ``interference`` (an :class:`~repro.phy.interference.InterferenceField`)
+    is directional: its contribution depends on the Rx beam, so the total
+    noise is computed per beam pair in :func:`snr_db`.
+    """
+
+    rays: list[Ray]
+    noise_dbm: float
+    interference: Optional[object] = None  # InterferenceField (avoids cycle)
+    geometry: Optional[LinkGeometry] = None
+    extra_fields: dict = field(default_factory=dict)
+
+    def effective_noise_dbm(
+        self, rx_beam: Optional[Beam] = None, rx_orientation_deg: float = 0.0
+    ) -> float:
+        """Noise + interference power as seen by ``rx_beam``.
+
+        Without a beam, interference is evaluated at quasi-omni gain (the
+        view a sector sweep's quasi-omni listener gets).
+        """
+        if self.interference is None:
+            return self.noise_dbm
+        if rx_beam is None:
+            interference_dbm = self.interference.omni_power_dbm()
+        else:
+            interference_dbm = self.interference.power_dbm(rx_beam, rx_orientation_deg)
+        total_mw = 10.0 ** (self.noise_dbm / 10.0) + 10.0 ** (interference_dbm / 10.0)
+        return 10.0 * math.log10(total_mw)
+
+    def strongest_ray(self) -> Optional[Ray]:
+        if not self.rays:
+            return None
+        return min(self.rays, key=lambda r: r.loss_db)
+
+
+# ---------------------------------------------------------------------------
+# Ray tracing
+# ---------------------------------------------------------------------------
+
+_MIN_RAY_GAIN_DB = -140.0
+"""Rays with more than 140 dB of loss are dropped (below any noise floor)."""
+
+
+def _blockage_loss_db(p1: Point, p2: Point, blockers: Sequence[Segment]) -> float:
+    """Total knife-edge loss from blockers crossing the sub-path ``p1p2``.
+
+    Each blocker segment stores its own loss in ``material_loss_db``.
+    """
+    loss = 0.0
+    for blocker in blockers:
+        if segment_intersection(p1, p2, blocker.a, blocker.b) is not None:
+            loss += blocker.material_loss_db
+    return loss
+
+
+def _los_ray(geometry: LinkGeometry) -> Optional[Ray]:
+    tx, rx = geometry.tx_position, geometry.rx_position
+    if not path_is_clear(tx, rx, geometry.room.obstacles()):
+        # Clutter fully blocks this LOS (e.g. desk rows); model as heavy loss
+        # rather than dropping the ray — mm-wave diffracts a little.
+        clutter_loss = 35.0
+    else:
+        clutter_loss = 0.0
+    length = tx.distance_to(rx)
+    loss = path_loss_db(length) + clutter_loss
+    loss += _blockage_loss_db(tx, rx, geometry.blockers)
+    if -loss < _MIN_RAY_GAIN_DB:
+        return None
+    return Ray(
+        aod_deg=math.degrees(tx.angle_to(rx)),
+        aoa_deg=math.degrees(rx.angle_to(tx)),
+        path_length_m=length,
+        loss_db=loss,
+        order=0,
+        via=(),
+    )
+
+
+def _first_order_ray(
+    geometry: LinkGeometry, wall: Segment
+) -> Optional[Ray]:
+    """Single-bounce ray off ``wall`` using the image method."""
+    tx, rx = geometry.tx_position, geometry.rx_position
+    image = mirror_point(tx, wall)
+    hit = segment_intersection(image, rx, wall.a, wall.b)
+    if hit is None:
+        return None
+    # Both sub-paths must be clear of other clutter.
+    obstacles = [s for s in geometry.room.obstacles() if s is not wall]
+    if not path_is_clear(tx, hit, obstacles):
+        return None
+    if not path_is_clear(hit, rx, obstacles):
+        return None
+    length = tx.distance_to(hit) + hit.distance_to(rx)
+    loss = path_loss_db(length) + wall.material_loss_db
+    loss += _blockage_loss_db(tx, hit, geometry.blockers)
+    loss += _blockage_loss_db(hit, rx, geometry.blockers)
+    if -loss < _MIN_RAY_GAIN_DB:
+        return None
+    return Ray(
+        aod_deg=math.degrees(tx.angle_to(hit)),
+        aoa_deg=math.degrees(rx.angle_to(hit)),
+        path_length_m=length,
+        loss_db=loss,
+        order=1,
+        via=(wall.name,),
+    )
+
+
+def _second_order_ray(
+    geometry: LinkGeometry, wall1: Segment, wall2: Segment
+) -> Optional[Ray]:
+    """Double-bounce ray: Tx → wall1 → wall2 → Rx via nested images."""
+    tx, rx = geometry.tx_position, geometry.rx_position
+    image1 = mirror_point(tx, wall1)
+    image2 = mirror_point(image1, wall2)
+    hit2 = segment_intersection(image2, rx, wall2.a, wall2.b)
+    if hit2 is None:
+        return None
+    hit1 = segment_intersection(image1, hit2, wall1.a, wall1.b)
+    if hit1 is None:
+        return None
+    obstacles = [s for s in geometry.room.obstacles() if s is not wall1 and s is not wall2]
+    for p1, p2 in ((tx, hit1), (hit1, hit2), (hit2, rx)):
+        if not path_is_clear(p1, p2, obstacles):
+            return None
+    length = tx.distance_to(hit1) + hit1.distance_to(hit2) + hit2.distance_to(rx)
+    loss = path_loss_db(length) + wall1.material_loss_db + wall2.material_loss_db
+    for p1, p2 in ((tx, hit1), (hit1, hit2), (hit2, rx)):
+        loss += _blockage_loss_db(p1, p2, geometry.blockers)
+    if -loss < _MIN_RAY_GAIN_DB:
+        return None
+    return Ray(
+        aod_deg=math.degrees(tx.angle_to(hit1)),
+        aoa_deg=math.degrees(rx.angle_to(hit2)),
+        path_length_m=length,
+        loss_db=loss,
+        order=2,
+        via=(wall1.name, wall2.name),
+    )
+
+
+def trace_rays(geometry: LinkGeometry, max_order: int = 2) -> list[Ray]:
+    """Trace all rays up to ``max_order`` reflections, strongest first."""
+    if max_order < 0:
+        raise ValueError("max_order must be >= 0")
+    rays: list[Ray] = []
+    los = _los_ray(geometry)
+    if los is not None:
+        rays.append(los)
+    reflectors = geometry.room.reflectors()
+    if max_order >= 1:
+        for wall in reflectors:
+            ray = _first_order_ray(geometry, wall)
+            if ray is not None:
+                rays.append(ray)
+    if max_order >= 2:
+        for wall1 in reflectors:
+            for wall2 in reflectors:
+                if wall1 is wall2:
+                    continue
+                ray = _second_order_ray(geometry, wall1, wall2)
+                if ray is not None:
+                    rays.append(ray)
+    rays.sort(key=lambda r: r.loss_db)
+    return rays
+
+
+# ---------------------------------------------------------------------------
+# Received power / SNR for beam pairs
+# ---------------------------------------------------------------------------
+
+
+def received_power_dbm(
+    rays: Sequence[Ray],
+    tx_beam: Beam,
+    rx_beam: Beam,
+    tx_orientation_deg: float,
+    rx_orientation_deg: float,
+    tx_power_dbm: float,
+) -> float:
+    """Incoherent sum of per-ray received powers for one beam pair.
+
+    Beam gains are evaluated at the ray's AoD/AoA *relative to each array's
+    boresight orientation*.
+    """
+    total_mw = 0.0
+    for ray in rays:
+        tx_gain = tx_beam.gain_dbi(ray.aod_deg - tx_orientation_deg)
+        rx_gain = rx_beam.gain_dbi(ray.aoa_deg - rx_orientation_deg)
+        power_dbm = tx_power_dbm + tx_gain + rx_gain - ray.loss_db
+        total_mw += 10.0 ** (power_dbm / 10.0)
+    if total_mw <= 0.0:
+        return -300.0
+    return 10.0 * math.log10(total_mw)
+
+
+def per_ray_received_powers_dbm(
+    rays: Sequence[Ray],
+    tx_beam: Beam,
+    rx_beam: Beam,
+    tx_orientation_deg: float,
+    rx_orientation_deg: float,
+    tx_power_dbm: float,
+) -> list[float]:
+    """Per-ray received power (for PDP construction), same order as ``rays``."""
+    powers = []
+    for ray in rays:
+        tx_gain = tx_beam.gain_dbi(ray.aod_deg - tx_orientation_deg)
+        rx_gain = rx_beam.gain_dbi(ray.aoa_deg - rx_orientation_deg)
+        powers.append(tx_power_dbm + tx_gain + rx_gain - ray.loss_db)
+    return powers
+
+
+def snr_db(
+    state: ChannelState,
+    tx_beam: Beam,
+    rx_beam: Beam,
+    tx_orientation_deg: float,
+    rx_orientation_deg: float,
+    tx_power_dbm: float,
+) -> float:
+    """SINR of one beam pair under the channel state's noise + interference."""
+    rx_power = received_power_dbm(
+        state.rays, tx_beam, rx_beam, tx_orientation_deg, rx_orientation_deg, tx_power_dbm
+    )
+    return rx_power - state.effective_noise_dbm(rx_beam, rx_orientation_deg)
+
+
+def snr_matrix_db(
+    state: ChannelState,
+    codebook: Codebook,
+    tx_orientation_deg: float,
+    rx_orientation_deg: float,
+    tx_power_dbm: float,
+) -> np.ndarray:
+    """SINR of *every* beam pair at once: shape (n_tx_beams, n_rx_beams).
+
+    Vectorised over rays: the received power of pair (i, j) is
+    ``sum_r gtx[i,r] * grx[j,r] * a[r]`` — a single matrix product — and
+    per-Rx-beam interference enters as a column-wise noise term.
+    """
+    n = len(codebook)
+    if not state.rays:
+        return np.full((n, n), -300.0)
+    aod = np.array([r.aod_deg - tx_orientation_deg for r in state.rays])
+    aoa = np.array([r.aoa_deg - rx_orientation_deg for r in state.rays])
+    amp = 10.0 ** ((tx_power_dbm - np.array([r.loss_db for r in state.rays])) / 10.0)
+    gtx = 10.0 ** (codebook.gain_matrix_dbi(aod) / 10.0)  # (n, R)
+    grx = 10.0 ** (codebook.gain_matrix_dbi(aoa) / 10.0)  # (n, R)
+    signal_mw = (gtx * amp) @ grx.T  # (n_tx, n_rx)
+
+    noise_mw = 10.0 ** (state.noise_dbm / 10.0)
+    if state.interference is not None:
+        irays = state.interference.rays
+        iamp = 10.0 ** (
+            (state.interference.eirp_dbm - np.array([r.loss_db for r in irays])) / 10.0
+        )
+        iaoa = np.array([r.aoa_deg - rx_orientation_deg for r in irays])
+        girx = 10.0 ** (codebook.gain_matrix_dbi(iaoa) / 10.0)  # (n, RI)
+        interference_mw = girx @ iamp  # per-Rx-beam, shape (n,)
+        noise_per_rx = noise_mw + interference_mw
+    else:
+        noise_per_rx = np.full(n, noise_mw)
+
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(np.maximum(signal_mw / noise_per_rx[None, :], 1e-30))
+
+
+def best_beam_pair(
+    state: ChannelState,
+    codebook: Codebook,
+    tx_orientation_deg: float,
+    rx_orientation_deg: float,
+    tx_power_dbm: float,
+) -> tuple[int, int, float]:
+    """Exhaustive O(N^2) sweep: the (tx_beam, rx_beam) pair maximising SNR.
+
+    This is the naive search the paper uses to *emulate BA* during dataset
+    collection (§5.1).  Returns ``(tx_index, rx_index, snr_db)``.
+    """
+    matrix = snr_matrix_db(
+        state, codebook, tx_orientation_deg, rx_orientation_deg, tx_power_dbm
+    )
+    flat_index = int(np.argmax(matrix))
+    ti, ri = divmod(flat_index, matrix.shape[1])
+    return ti, ri, float(matrix[ti, ri])

@@ -1,0 +1,112 @@
+"""SNR → codeword error model for the X60 single-carrier PHY.
+
+Each X60 MCS has an SNR threshold (see :data:`repro.constants.
+X60_MCS_SNR_THRESHOLDS_DB`); the codeword error rate follows a logistic
+waterfall around that threshold, which is the standard shape of an
+LDPC-coded SC link.  The codeword delivery ratio (CDR) — the fraction of
+successful codewords in a 10 ms frame — is the complement, and is the PHY
+statistic the paper uses as its SFER analogue (§6.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.constants import (
+    WORKING_MCS_MIN_CDR,
+    WORKING_MCS_MIN_THROUGHPUT_MBPS,
+    X60_MCS_SNR_THRESHOLDS_DB,
+    X60_MCS_TABLE,
+)
+
+WATERFALL_STEEPNESS_PER_DB = 4.0
+"""Logistic steepness: the CER goes ~0.98→0.02 over ±1 dB around threshold.
+LDPC waterfalls are sharp; the practical consequence (paper Fig. 8) is that
+observed CDR is close to binary — ~0 below threshold, ~1 above — which is
+exactly why CDR alone cannot pick the right adaptation mechanism."""
+
+
+def codeword_error_rate(
+    snr_db: float,
+    mcs: int,
+    thresholds_db: Sequence[float] = X60_MCS_SNR_THRESHOLDS_DB,
+) -> float:
+    """Probability that one codeword at ``mcs`` fails at the given SNR."""
+    if not 0 <= mcs < len(thresholds_db):
+        raise ValueError(f"mcs {mcs} out of range 0..{len(thresholds_db) - 1}")
+    x = WATERFALL_STEEPNESS_PER_DB * (snr_db - thresholds_db[mcs])
+    # Logistic CER: 0.5 exactly at threshold, →0 above, →1 below.
+    if x > 40.0:
+        return 0.0
+    if x < -40.0:
+        return 1.0
+    return 1.0 / (1.0 + math.exp(x))
+
+
+def codeword_delivery_ratio(
+    snr_db: float,
+    mcs: int,
+    thresholds_db: Sequence[float] = X60_MCS_SNR_THRESHOLDS_DB,
+) -> float:
+    """Expected fraction of codewords delivered at ``mcs`` (1 - CER)."""
+    return 1.0 - codeword_error_rate(snr_db, mcs, thresholds_db)
+
+
+def phy_rate_mbps(mcs: int) -> float:
+    """PHY data rate of an X60 MCS."""
+    return X60_MCS_TABLE[mcs][3]
+
+
+def throughput_mbps(snr_db: float, mcs: int) -> float:
+    """Expected MAC throughput: PHY rate scaled by delivery ratio.
+
+    X60's TDMA framing has negligible per-frame overhead at this
+    granularity (CRC blocks are included in the codeword payload budget).
+    """
+    return phy_rate_mbps(mcs) * codeword_delivery_ratio(snr_db, mcs)
+
+
+def is_working_mcs(snr_db: float, mcs: int) -> bool:
+    """The paper's working-MCS predicate (§5.2): CDR > 10 % AND
+    throughput > 150 Mbps."""
+    cdr = codeword_delivery_ratio(snr_db, mcs)
+    return cdr > WORKING_MCS_MIN_CDR and throughput_mbps(snr_db, mcs) > (
+        WORKING_MCS_MIN_THROUGHPUT_MBPS
+    )
+
+
+def highest_working_mcs(
+    snr_db: float, max_mcs: Optional[int] = None
+) -> Optional[int]:
+    """The highest working MCS at this SNR, or ``None`` if the link is dead.
+
+    ``max_mcs`` caps the search (RA never probes above the initial MCS when
+    repairing a link, §5.2).
+    """
+    top = len(X60_MCS_TABLE) - 1 if max_mcs is None else max_mcs
+    for mcs in range(top, -1, -1):
+        if is_working_mcs(snr_db, mcs):
+            return mcs
+    return None
+
+
+def best_throughput_mcs(
+    snr_db: float, max_mcs: Optional[int] = None
+) -> tuple[Optional[int], float]:
+    """The MCS (≤ ``max_mcs``) with the highest expected throughput.
+
+    Returns ``(mcs, throughput_mbps)``; ``(None, 0.0)`` when no MCS works.
+    Note the best-throughput MCS can differ from the highest working one:
+    just past a waterfall, a lower MCS at CDR≈1 can beat a higher at CDR≈0.4.
+    """
+    top = len(X60_MCS_TABLE) - 1 if max_mcs is None else max_mcs
+    best_mcs: Optional[int] = None
+    best_tput = 0.0
+    for mcs in range(top + 1):
+        if not is_working_mcs(snr_db, mcs):
+            continue
+        tput = throughput_mbps(snr_db, mcs)
+        if tput > best_tput:
+            best_mcs, best_tput = mcs, tput
+    return best_mcs, best_tput

@@ -1,0 +1,112 @@
+"""Power delay profile (PDP) and its frequency-domain transform (CSI proxy).
+
+X60's single-carrier PHY cannot measure CSI directly, so the paper logs the
+PDP — received power versus excess delay — and additionally takes an FFT of
+the PDP to obtain a frequency-domain channel estimate (§6.1, "Multipath-
+related Metrics").  For both representations, the similarity between two
+states is the Pearson correlation coefficient, following Sun et al.
+
+Two reproduction-critical details:
+
+* PDPs are *aligned to their strongest tap* before comparison.  Hardware
+  timestamps the profile relative to sync acquisition (the dominant tap),
+  so a pure distance change barely moves the profile.  This is why the
+  paper sees PDP similarity ≥ 0.65 always and ≥ 0.9 in 68 % of cases —
+  60 GHz channels are sparse and usually keep their dominant-tap shape.
+* Taps have finite width (the 2 GHz channel gives ~0.5 ns resolution and
+  the pulse-shaping filter smears energy over a few bins), which we model
+  by depositing each ray's power with a small Gaussian kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.phy.channel import Ray
+
+PDP_NUM_BINS = 256
+PDP_BIN_WIDTH_NS = 1.0
+PDP_TAP_SIGMA_BINS = 1.2
+"""Pulse-shaping smear of one resolvable tap, in bins."""
+
+
+def power_delay_profile(
+    rays: Sequence[Ray],
+    per_ray_power_dbm: Sequence[float],
+    num_bins: int = PDP_NUM_BINS,
+    bin_width_ns: float = PDP_BIN_WIDTH_NS,
+) -> np.ndarray:
+    """Build a PDP (linear power per delay bin) from traced rays.
+
+    Delays are measured as *excess* delay relative to the earliest ray, and
+    the profile is normalised to unit total power so that similarity
+    compares shape, not absolute level.
+    """
+    if len(rays) != len(per_ray_power_dbm):
+        raise ValueError("rays and powers must have equal length")
+    profile = np.zeros(num_bins)
+    if not rays:
+        return profile
+    first_delay = min(ray.delay_ns for ray in rays)
+    bin_centres = np.arange(num_bins, dtype=float)
+    for ray, power_dbm in zip(rays, per_ray_power_dbm):
+        excess_bins = (ray.delay_ns - first_delay) / bin_width_ns
+        if excess_bins >= num_bins:
+            continue
+        power_mw = 10.0 ** (power_dbm / 10.0)
+        kernel = np.exp(-0.5 * ((bin_centres - excess_bins) / PDP_TAP_SIGMA_BINS) ** 2)
+        profile += power_mw * kernel
+    total = profile.sum()
+    if total > 0.0:
+        profile /= total
+    return profile
+
+
+def align_to_strongest_tap(profile: np.ndarray) -> np.ndarray:
+    """Circularly shift the profile so its strongest tap sits at bin 0."""
+    if profile.size == 0 or profile.max() <= 0.0:
+        return profile
+    return np.roll(profile, -int(np.argmax(profile)))
+
+
+def fft_pdp(profile: np.ndarray) -> np.ndarray:
+    """Magnitude of the FFT of the PDP: the paper's CSI estimate (§6.1)."""
+    return np.abs(np.fft.rfft(profile))
+
+
+def pearson_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation coefficient between two equal-length vectors.
+
+    Degenerate (constant) inputs return 0.0 similarity rather than NaN —
+    a flat profile carries no shape information to correlate.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size < 2:
+        return 0.0
+    sa, sb = a.std(), b.std()
+    if sa <= 0.0 or sb <= 0.0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def pdp_similarity(profile_a: np.ndarray, profile_b: np.ndarray) -> float:
+    """Time-domain PDP similarity with strongest-tap alignment (see module
+    docstring for why alignment is part of the metric)."""
+    return pearson_similarity(
+        align_to_strongest_tap(profile_a), align_to_strongest_tap(profile_b)
+    )
+
+
+def csi_similarity(profile_a: np.ndarray, profile_b: np.ndarray) -> float:
+    """Frequency-domain (FFT-PDP) similarity.
+
+    The FFT is taken on the *unaligned* profiles: absolute tap positions
+    turn into frequency-domain phase/ripple patterns, which is what makes
+    the CSI metric more diverse than time-domain PDP similarity (Fig. 7).
+    """
+    return pearson_similarity(fft_pdp(profile_a), fft_pdp(profile_b))

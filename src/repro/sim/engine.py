@@ -1,0 +1,194 @@
+"""The frame-level, trace-driven link simulator of §8.
+
+One *flow* starts at the moment a link impairment hits (captured by a
+dataset entry) and runs for a fixed duration.  The engine:
+
+1. builds the Tx-side :class:`~repro.core.policies.Observation` from the
+   entry — the feature deltas the ACKs carried, whether the ACK went
+   missing entirely (the old pair delivers nothing), and whether the
+   current MCS still works;
+2. asks the policy for an action and charges the corresponding recovery
+   procedure — RA probing frames (which still carry data), the BA sweep
+   (control frames only: zero goodput), and the post-failure fallbacks of
+   Algorithm 1 (failed RA → BA → RA; BA's repair lands on the new pair);
+3. runs the remaining time in steady state at the settled MCS, including
+   the §7 upward-probing tax.
+
+All policies — including the oracles — use the same RA machinery and the
+same probing behaviour; the oracles differ only in *which* action they
+pick, exactly as the paper specifies ("all algorithms use the same
+mechanism as LiBRA to probe higher rates periodically").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import WORKING_MCS_MIN_CDR, WORKING_MCS_MIN_THROUGHPUT_MBPS
+from repro.core.ground_truth import Action
+from repro.core.policies import LinkAdaptationPolicy, Observation
+from repro.core.rate_adaptation import RateAdaptation
+from repro.dataset.entry import DatasetEntry
+from repro.sim.timeline import Segment, Timeline
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """The §8.1 protocol grid: BA overhead x frame aggregation time."""
+
+    ba_overhead_s: float = 5e-3
+    frame_time_s: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if self.ba_overhead_s < 0 or self.frame_time_s <= 0:
+            raise ValueError("invalid overheads")
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one simulated flow (or one timeline segment)."""
+
+    bytes_delivered: float
+    recovery_delay_s: float
+    action: Action
+    settled_mcs: int | None
+    link_died: bool = False
+
+    @property
+    def megabytes(self) -> float:
+        return self.bytes_delivered / 1e6
+
+
+def observation_from_entry(entry: DatasetEntry, config: SimulationConfig) -> Observation:
+    """What the transmitter can see right after the impairment.
+
+    The ACK goes missing when the old pair's CDR at the current MCS is
+    (near) zero — no codeword of the frame decodes, so no Block ACK
+    returns and no fresh metrics arrive.
+    """
+    cdr_now = float(entry.traces_same_pair.cdr[entry.initial_mcs])
+    tput_now = float(entry.traces_same_pair.throughput_mbps[entry.initial_mcs])
+    ack_missing = cdr_now < 1e-3
+    working = cdr_now > WORKING_MCS_MIN_CDR and tput_now > WORKING_MCS_MIN_THROUGHPUT_MBPS
+    return Observation(
+        features=None if ack_missing else entry.features,
+        ack_missing=ack_missing,
+        current_mcs=entry.initial_mcs,
+        current_mcs_working=working,
+        ba_overhead_s=config.ba_overhead_s,
+    )
+
+
+def _execute_action(
+    action: Action, entry: DatasetEntry, config: SimulationConfig, duration_s: float
+) -> FlowResult:
+    """Charge the chosen recovery procedure and the steady state after it."""
+    ra = RateAdaptation(frame_time_s=config.frame_time_s)
+    elapsed = 0.0
+    delivered = 0.0
+
+    if action is Action.NA:
+        # Keep transmitting at the current MCS on the old pair.
+        delivered = ra.steady_state_bytes(
+            entry.traces_same_pair, entry.initial_mcs, duration_s
+        )
+        cdr = float(entry.traces_same_pair.cdr[entry.initial_mcs])
+        return FlowResult(delivered, 0.0, action, entry.initial_mcs, cdr < 1e-3)
+
+    if action is Action.RA:
+        repair = ra.repair(entry.traces_same_pair, entry.initial_mcs)
+        elapsed += repair.frames_spent * config.frame_time_s
+        delivered += repair.bytes_during_search
+        if repair.found_mcs is not None:
+            remaining = max(0.0, duration_s - elapsed)
+            delivered += ra.steady_state_bytes(
+                entry.traces_same_pair, repair.found_mcs, remaining
+            )
+            return FlowResult(delivered, elapsed, action, repair.found_mcs)
+        # Algorithm 1 fallback: failed RA -> BA -> RA on the new pair.
+        elapsed += config.ba_overhead_s
+        repair2 = ra.repair(entry.traces_best_pair, entry.initial_mcs)
+        elapsed += repair2.frames_spent * config.frame_time_s
+        delivered += repair2.bytes_during_search
+        if repair2.found_mcs is None:
+            return FlowResult(delivered, min(elapsed, duration_s), action, None, True)
+        remaining = max(0.0, duration_s - elapsed)
+        delivered += ra.steady_state_bytes(
+            entry.traces_best_pair, repair2.found_mcs, remaining
+        )
+        return FlowResult(delivered, elapsed, action, repair2.found_mcs)
+
+    # BA first: sweep (zero goodput), then RA on the new best pair.
+    elapsed += config.ba_overhead_s
+    repair = ra.repair(entry.traces_best_pair, entry.initial_mcs)
+    elapsed += repair.frames_spent * config.frame_time_s
+    delivered += repair.bytes_during_search
+    if repair.found_mcs is None:
+        return FlowResult(delivered, min(elapsed, duration_s), action, None, True)
+    remaining = max(0.0, duration_s - elapsed)
+    delivered += ra.steady_state_bytes(entry.traces_best_pair, repair.found_mcs, remaining)
+    return FlowResult(delivered, elapsed, action, repair.found_mcs)
+
+
+def simulate_flow(
+    policy: LinkAdaptationPolicy,
+    entry: DatasetEntry,
+    config: SimulationConfig,
+    duration_s: float,
+) -> FlowResult:
+    """Simulate one flow that hits the entry's impairment at t = 0."""
+    if duration_s <= 0:
+        raise ValueError("flow duration must be positive")
+    bind = getattr(policy, "bind", None)
+    if bind is not None:  # oracles are clairvoyant: hand them the entry
+        bind(entry, duration_s)
+    observation = observation_from_entry(entry, config)
+    decision = policy.decide(observation)
+    action = decision.action
+    if action is Action.NA and not observation.current_mcs_working:
+        # A policy that ignores a dead link would deliver nothing forever;
+        # every real device falls back once the ACK timeout fires.  Charge
+        # one frame of silence, then force the device's default (RA).
+        result = _execute_action(
+            Action.RA, entry, config,
+            max(duration_s - config.frame_time_s, 0.0),
+        )
+        return FlowResult(
+            result.bytes_delivered,
+            result.recovery_delay_s + config.frame_time_s,
+            Action.RA,
+            result.settled_mcs,
+            result.link_died,
+        )
+    return _execute_action(action, entry, config, duration_s)
+
+
+def simulate_timeline(
+    policy: LinkAdaptationPolicy,
+    timeline: Timeline,
+    config: SimulationConfig,
+) -> tuple[float, float, int]:
+    """Run a policy over a multi-segment timeline (§8.3).
+
+    Each impaired segment is one link break: the policy pays its recovery
+    at the segment start and steady-states for the rest.  Clear segments
+    deliver at the pre-impairment rate (all policies equal there, since
+    every algorithm probes back up with the same §7 machinery).
+
+    Returns ``(total_bytes, mean_recovery_delay_s, num_breaks)``.
+    """
+    total_bytes = 0.0
+    total_delay = 0.0
+    breaks = 0
+    policy.reset()
+    for segment in timeline.segments:
+        if segment.entry is None:
+            # Clear segment: steady state at the recovered link rate.
+            total_bytes += segment.clear_rate_mbps * 1e6 / 8.0 * segment.duration_s
+            continue
+        result = simulate_flow(policy, segment.entry, config, segment.duration_s)
+        total_bytes += result.bytes_delivered
+        total_delay += min(result.recovery_delay_s, segment.duration_s)
+        breaks += 1
+    mean_delay = total_delay / breaks if breaks else 0.0
+    return total_bytes, mean_delay, breaks

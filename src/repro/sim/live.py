@@ -1,0 +1,353 @@
+"""Closed-loop LiBRA: Algorithm 1 running frame-by-frame on the live
+emulated testbed.
+
+Where :mod:`repro.sim.engine` replays recorded traces (the paper's §8
+methodology), this module runs the *whole* loop of Algorithm 1 against the
+channel simulator: every aggregated frame is transmitted at the current
+(beam pair, MCS), the Block ACK carries the Rx's PHY metrics back (or goes
+missing), windows of metrics feed the classifier every two frames, and the
+chosen mechanism executes with real sweeps and real probing frames.
+
+The scenario is a scripted sequence of link events — Rx motion, blockers
+appearing/clearing, interferers switching on — so tests can assert
+behaviour around each event ("LiBRA re-sweeps once after the rotation and
+then stays quiet").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.constants import WORKING_MCS_MIN_CDR, WORKING_MCS_MIN_THROUGHPUT_MBPS
+from repro.core.ground_truth import Action
+from repro.core.observation import (
+    FrameFeedback,
+    MetricWindow,
+    WindowSnapshot,
+    features_between,
+)
+from repro.core.history import BlockagePatternLearner
+from repro.core.policies import LinkAdaptationPolicy, Observation
+from repro.core.rate_adaptation import cdr_ori_threshold
+from repro.env.placement import RadioPose
+from repro.phy.blockage import HumanBlocker
+from repro.phy.error_model import phy_rate_mbps
+from repro.phy.interference import Interferer
+from repro.testbed.x60 import X60Link
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """A change to the link environment at ``at_s``.
+
+    Fields left as ``None`` keep their current value; ``clear_blockers``
+    and ``clear_interferer`` explicitly remove the respective impairment.
+    """
+
+    at_s: float
+    rx: Optional[RadioPose] = None
+    blockers: Optional[tuple[HumanBlocker, ...]] = None
+    interferer: Optional[Interferer] = None
+    clear_blockers: bool = False
+    clear_interferer: bool = False
+
+
+@dataclass
+class SessionLog:
+    """Everything a test or example needs about one live session."""
+
+    frame_times_s: list = field(default_factory=list)
+    mcs: list = field(default_factory=list)
+    beam_pairs: list = field(default_factory=list)
+    actions: list = field(default_factory=list)  # (time_s, Action)
+    bytes_delivered: float = 0.0
+    duration_s: float = 0.0
+    sweeps: int = 0
+    ra_repairs: int = 0
+
+    @property
+    def throughput_mbps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.bytes_delivered * 8.0 / 1e6 / self.duration_s
+
+    def actions_between(self, start_s: float, end_s: float) -> list:
+        return [a for t, a in self.actions if start_s <= t < end_s]
+
+    def beam_pair_at(self, time_s: float) -> tuple[int, int]:
+        for t, pair in zip(reversed(self.frame_times_s), reversed(self.beam_pairs)):
+            if t <= time_s:
+                return pair
+        return self.beam_pairs[0]
+
+
+class LiveSession:
+    """One Tx driving a link with a pluggable decision policy.
+
+    Args:
+        link: The emulated testbed link (fixed Tx).
+        policy: Any :class:`LinkAdaptationPolicy`; LiBRA for the real
+            thing, the heuristics or StaticPolicy for baselines.
+        initial_rx: The Rx pose at t = 0.
+        frame_time_s: Aggregated-frame duration (FAT).
+        ba_overhead_s: Wall-clock cost of one sweep (§8.1 grid).
+        decision_period_frames: Algorithm 1 decides every N frames (2).
+        seed: Drives measurement noise and sweep noise.
+        pattern_learner: Optional §7-future-work extension: link breaks
+            feed the learner, and when it predicts the next break within
+            ``prearm_guard_s`` the session pre-emptively drops the MCS one
+            rung — paying a tiny rate cost instead of a full missing-ACK
+            recovery when the hit lands.
+        prearm_guard_s: Look-ahead window for pre-arming.
+    """
+
+    def __init__(
+        self,
+        link: X60Link,
+        policy: LinkAdaptationPolicy,
+        initial_rx: RadioPose,
+        frame_time_s: float = 2e-3,
+        ba_overhead_s: float = 5e-3,
+        decision_period_frames: int = 2,
+        seed: int = 0,
+        pattern_learner: Optional[BlockagePatternLearner] = None,
+        prearm_guard_s: float = 0.1,
+        prearm_mcs_drop: int = 3,
+    ):
+        self.link = link
+        self.policy = policy
+        self.rx = initial_rx
+        self.frame_time_s = frame_time_s
+        self.ba_overhead_s = ba_overhead_s
+        self.rng = np.random.default_rng(seed)
+        self.blockers: tuple[HumanBlocker, ...] = ()
+        self.interferer: Optional[Interferer] = None
+        self._state = link.channel_state(initial_rx, rng=self.rng)
+        tx_beam, rx_beam, _ = link.sector_sweep(self._state, initial_rx, self.rng)
+        self.tx_beam, self.rx_beam = tx_beam, rx_beam
+        self.mcs = self._best_live_mcs()
+        self.window = MetricWindow(decision_period_frames)
+        self.previous_snapshot: Optional[WindowSnapshot] = None
+        # §7 upward probing state.
+        self._probe_interval = 5
+        self._since_probe = 0
+        self._failed_probes = 0
+        self.pattern_learner = pattern_learner
+        self.prearm_guard_s = prearm_guard_s
+        self.prearm_mcs_drop = prearm_mcs_drop
+        self.prearms = 0
+
+    # -- channel plumbing ----------------------------------------------------
+
+    def _retrace(self) -> None:
+        self._state = self.link.channel_state(
+            self.rx, self.blockers, self.interferer, self.rng,
+            operating_pair=(self.tx_beam, self.rx_beam),
+        )
+
+    def apply_event(self, event: LinkEvent) -> None:
+        if event.rx is not None:
+            self.rx = event.rx
+        if event.clear_blockers:
+            self.blockers = ()
+        elif event.blockers is not None:
+            self.blockers = tuple(event.blockers)
+        if event.clear_interferer:
+            self.interferer = None
+        elif event.interferer is not None:
+            self.interferer = event.interferer
+        self._retrace()
+
+    # -- per-frame radio ------------------------------------------------------
+
+    def _measure(self):
+        return self.link.measure(
+            self._state, self.rx, self.tx_beam, self.rx_beam, self.rng
+        )
+
+    def _frame_outcome(self) -> tuple[float, Optional[FrameFeedback]]:
+        """Send one AMPDU: returns (bytes delivered, feedback or None)."""
+        measurement = self._measure()
+        cdr = float(measurement.cdr[self.mcs])
+        payload = phy_rate_mbps(self.mcs) * 1e6 / 8.0 * self.frame_time_s * cdr
+        if cdr < 1e-3:
+            return payload, None  # whole frame lost: no Block ACK
+        feedback = FrameFeedback(
+            snr_db=measurement.snr_db,
+            noise_dbm=measurement.noise_dbm,
+            tof_ns=measurement.tof_ns,
+            pdp=measurement.pdp,
+            cdr=cdr,
+        )
+        return payload, feedback
+
+    def _best_live_mcs(self) -> int:
+        measurement = self._measure()
+        best = measurement.best_mcs()
+        return best if best is not None else 0
+
+    def _is_working(self, mcs: int) -> bool:
+        measurement = self._measure()
+        return (
+            measurement.cdr[mcs] > WORKING_MCS_MIN_CDR
+            and measurement.throughput_mbps[mcs] > WORKING_MCS_MIN_THROUGHPUT_MBPS
+        )
+
+    # -- adaptation mechanisms -------------------------------------------------
+
+    def _run_ba(self, log: SessionLog) -> float:
+        """A sweep: returns its wall-clock cost; updates the beam pair."""
+        tx_beam, rx_beam, _ = self.link.sector_sweep(self._state, self.rx, self.rng)
+        self.tx_beam, self.rx_beam = tx_beam, rx_beam
+        self._retrace()  # interference calibration follows the new pair
+        log.sweeps += 1
+        self.window.reset()
+        self.previous_snapshot = None
+        return self.ba_overhead_s
+
+    def _run_ra(self, log: SessionLog, start_mcs: int) -> tuple[float, float]:
+        """Algorithm 1's RA(): descend from ``start_mcs`` probing live
+        frames; returns (bytes delivered during the search, time spent).
+
+        A fully failed search falls back to BA + a second search, exactly
+        like the trace-based engine.
+        """
+        log.ra_repairs += 1
+        measurement = self._measure()
+        elapsed = 0.0
+        delivered = 0.0
+        max_tput = 0.0
+        best: Optional[int] = None
+        for mcs in range(start_mcs, -1, -1):
+            elapsed += self.frame_time_s
+            tput = float(measurement.throughput_mbps[mcs])
+            delivered += tput * 1e6 / 8.0 * self.frame_time_s
+            if tput < max_tput:
+                break
+            max_tput = tput
+            if (
+                measurement.cdr[mcs] > WORKING_MCS_MIN_CDR
+                and tput > WORKING_MCS_MIN_THROUGHPUT_MBPS
+            ):
+                best = mcs
+        if best is None:
+            elapsed += self._run_ba(log)
+            measurement = self._measure()
+            for mcs in range(start_mcs, -1, -1):
+                elapsed += self.frame_time_s
+                tput = float(measurement.throughput_mbps[mcs])
+                delivered += tput * 1e6 / 8.0 * self.frame_time_s
+                if (
+                    measurement.cdr[mcs] > WORKING_MCS_MIN_CDR
+                    and tput > WORKING_MCS_MIN_THROUGHPUT_MBPS
+                ):
+                    best = mcs
+                    break
+        self.mcs = best if best is not None else 0
+        self.window.reset()
+        self.previous_snapshot = None
+        return delivered, elapsed
+
+    def _maybe_probe_up(self, feedback: FrameFeedback) -> None:
+        """§7 upward probing with the adaptive interval."""
+        self._since_probe += 1
+        if self.mcs >= 8 or self._since_probe < self._probe_interval:
+            return
+        if feedback.cdr <= cdr_ori_threshold(self.mcs):
+            return
+        self._since_probe = 0
+        measurement = self._measure()
+        higher = self.mcs + 1
+        if measurement.throughput_mbps[higher] > measurement.throughput_mbps[self.mcs]:
+            self.mcs = higher
+            self._failed_probes = 0
+            self._probe_interval = 5
+        else:
+            self._failed_probes += 1
+            self._probe_interval = 5 * min(2 ** self._failed_probes, 32)
+
+    # -- the main loop -----------------------------------------------------------
+
+    def run(
+        self, duration_s: float, events: Sequence[LinkEvent] = ()
+    ) -> SessionLog:
+        """Run the session for ``duration_s`` with the scripted events."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        log = SessionLog(duration_s=duration_s)
+        pending = sorted(events, key=lambda e: e.at_s)
+        clock = 0.0
+        self.policy.reset()
+        while clock < duration_s:
+            while pending and pending[0].at_s <= clock:
+                self.apply_event(pending.pop(0))
+            if (
+                self.pattern_learner is not None
+                and self.mcs > 0
+                and self.pattern_learner.should_prearm(clock, self.prearm_guard_s)
+            ):
+                # Predicted break imminent: pre-drop the rate so the hit
+                # lands on a robust MCS instead of killing the whole frame.
+                self.mcs = max(0, self.mcs - self.prearm_mcs_drop)
+                self.prearms += 1
+            payload, feedback = self._frame_outcome()
+            log.bytes_delivered += payload
+            log.frame_times_s.append(clock)
+            log.mcs.append(self.mcs)
+            log.beam_pairs.append((self.tx_beam, self.rx_beam))
+            clock += self.frame_time_s
+
+            if feedback is None:
+                if self.pattern_learner is not None:
+                    self.pattern_learner.record_break(clock)
+                # Missing Block ACK: Algorithm 1's dedicated rule.
+                decision = self.policy.decide(Observation(
+                    features=None,
+                    ack_missing=True,
+                    current_mcs=self.mcs,
+                    current_mcs_working=False,
+                    ba_overhead_s=self.ba_overhead_s,
+                ))
+                action = decision.action
+                if action is Action.NA:
+                    action = Action.RA  # ACK timeout forces the COTS default
+                log.actions.append((clock, action))
+                if action is Action.BA:
+                    clock += self._run_ba(log)
+                    delivered, spent = self._run_ra(log, self.mcs)
+                else:
+                    delivered, spent = self._run_ra(log, max(self.mcs - 1, 0))
+                log.bytes_delivered += delivered
+                clock += spent
+                continue
+
+            self._maybe_probe_up(feedback)
+            snapshot = self.window.push(feedback)
+            if snapshot is None:
+                continue
+            if self.previous_snapshot is None:
+                self.previous_snapshot = snapshot
+                continue
+            features = features_between(self.previous_snapshot, snapshot, self.mcs)
+            self.previous_snapshot = snapshot
+            decision = self.policy.decide(Observation(
+                features=features,
+                ack_missing=False,
+                current_mcs=self.mcs,
+                current_mcs_working=self._is_working(self.mcs),
+                ba_overhead_s=self.ba_overhead_s,
+            ))
+            if decision.action is Action.NA:
+                continue
+            log.actions.append((clock, decision.action))
+            if decision.action is Action.BA:
+                clock += self._run_ba(log)
+                delivered, spent = self._run_ra(log, self.mcs)
+            else:
+                delivered, spent = self._run_ra(log, max(self.mcs - 1, 0))
+            log.bytes_delivered += delivered
+            clock += spent
+        return log

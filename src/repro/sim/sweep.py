@@ -1,0 +1,164 @@
+"""The §8 evaluation grid as a reusable API.
+
+The benchmarks hard-code the paper's operating points; downstream users
+typically want their own (a different sweep cost, a different FAT, their
+own α).  :class:`EvaluationGrid` packages the whole §8.2 methodology —
+per-operating-point ground-truth relabelling, per-point LiBRA training,
+oracle references, byte and delay gap collection — behind one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import (
+    ALPHA_FOR_HIGH_BA_OVERHEAD,
+    ALPHA_FOR_LOW_BA_OVERHEAD,
+)
+from repro.core.ground_truth import GroundTruthConfig
+from repro.core.libra import LiBRA
+from repro.core.policies import BAFirstPolicy, LinkAdaptationPolicy, RAFirstPolicy
+from repro.dataset.entry import Dataset
+from repro.ml.forest import RandomForestClassifier
+from repro.sim.engine import SimulationConfig, simulate_flow
+from repro.sim.oracle import OracleData, OracleDelay
+
+LOW_OVERHEAD_CUTOFF_S = 10e-3
+"""§8.1's α assignment boundary: sweeps up to a few ms count as cheap."""
+
+
+def default_alpha(ba_overhead_s: float) -> float:
+    """The paper's α per overhead regime (0.7 cheap / 0.5 expensive)."""
+    if ba_overhead_s <= LOW_OVERHEAD_CUTOFF_S:
+        return ALPHA_FOR_LOW_BA_OVERHEAD
+    return ALPHA_FOR_HIGH_BA_OVERHEAD
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One protocol configuration of the §8.1 grid."""
+
+    ba_overhead_s: float
+    frame_time_s: float
+    flow_duration_s: float = 1.0
+    alpha: Optional[float] = None  # None → the paper's per-regime default
+
+    def resolved_alpha(self) -> float:
+        return self.alpha if self.alpha is not None else default_alpha(
+            self.ba_overhead_s
+        )
+
+    def simulation_config(self) -> SimulationConfig:
+        return SimulationConfig(self.ba_overhead_s, self.frame_time_s)
+
+    def ground_truth_config(self) -> GroundTruthConfig:
+        return GroundTruthConfig(
+            alpha=self.resolved_alpha(),
+            ba_overhead_s=self.ba_overhead_s,
+            frame_time_s=self.frame_time_s,
+        )
+
+
+@dataclass
+class PointResult:
+    """Per-policy gap arrays at one operating point."""
+
+    point: OperatingPoint
+    byte_gaps_mb: dict[str, np.ndarray]
+    delay_gaps_ms: dict[str, np.ndarray]
+
+    def oracle_match_fraction(self, policy: str, tolerance_mb: float = 1.0) -> float:
+        gaps = self.byte_gaps_mb[policy]
+        return float(np.mean(gaps <= tolerance_mb))
+
+    def median_delay_gap_ms(self, policy: str) -> float:
+        return float(np.median(self.delay_gaps_ms[policy]))
+
+
+@dataclass
+class EvaluationGrid:
+    """Run the §8.2 methodology over arbitrary operating points.
+
+    Args:
+        training_dataset: Labelled (and NA-augmented) campaign used to
+            train LiBRA; labels are recomputed per operating point.
+        evaluation_dataset: The impairments to replay (the paper uses the
+            cross-building testing dataset).
+        n_estimators / max_depth / random_state: Forest parameters for the
+            per-point LiBRA models.
+    """
+
+    training_dataset: Dataset
+    evaluation_dataset: Dataset
+    n_estimators: int = 60
+    max_depth: int = 14
+    random_state: int = 0
+    _model_cache: dict = field(default_factory=dict, init=False, repr=False)
+
+    def libra_for(self, point: OperatingPoint) -> LiBRA:
+        """A LiBRA trained on this point's relabelled ground truth."""
+        config = point.ground_truth_config()
+        key = (config.alpha, config.ba_overhead_s, config.frame_time_s)
+        if key not in self._model_cache:
+            model = RandomForestClassifier(
+                n_estimators=self.n_estimators,
+                max_depth=self.max_depth,
+                random_state=self.random_state,
+            )
+            model.fit(
+                self.training_dataset.feature_matrix(),
+                self.training_dataset.labels(config),
+            )
+            self._model_cache[key] = LiBRA(model)
+        return self._model_cache[key]
+
+    def policies_for(self, point: OperatingPoint) -> dict[str, LinkAdaptationPolicy]:
+        return {
+            "LiBRA": self.libra_for(point),
+            "BA First": BAFirstPolicy(),
+            "RA First": RAFirstPolicy(),
+        }
+
+    def run_point(self, point: OperatingPoint) -> PointResult:
+        """Replay every evaluation impairment at one operating point."""
+        config = point.simulation_config()
+        duration = point.flow_duration_s
+        policies = self.policies_for(point)
+        data_oracle = OracleData(config, duration)
+        delay_oracle = OracleDelay(config, duration)
+        byte_gaps = {name: [] for name in policies}
+        delay_gaps = {name: [] for name in policies}
+        for entry in self.evaluation_dataset.without_na():
+            best_bytes = simulate_flow(data_oracle, entry, config, duration)
+            best_delay = simulate_flow(delay_oracle, entry, config, duration)
+            for name, policy in policies.items():
+                result = simulate_flow(policy, entry, config, duration)
+                byte_gaps[name].append(
+                    (best_bytes.bytes_delivered - result.bytes_delivered) / 1e6
+                )
+                delay_gaps[name].append(
+                    (result.recovery_delay_s - best_delay.recovery_delay_s) * 1e3
+                )
+        return PointResult(
+            point,
+            {k: np.array(v) for k, v in byte_gaps.items()},
+            {k: np.array(v) for k, v in delay_gaps.items()},
+        )
+
+    def run(self, points: list[OperatingPoint]) -> list[PointResult]:
+        """All points, in order."""
+        return [self.run_point(point) for point in points]
+
+
+def paper_grid(flow_duration_s: float = 1.0) -> list[OperatingPoint]:
+    """The paper's 4 x 2 operating-point grid (§8.1)."""
+    from repro.constants import BA_OVERHEADS_S, FRAME_AGGREGATION_TIMES_S
+
+    return [
+        OperatingPoint(overhead, fat, flow_duration_s)
+        for overhead in BA_OVERHEADS_S
+        for fat in FRAME_AGGREGATION_TIMES_S
+    ]

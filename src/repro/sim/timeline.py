@@ -1,0 +1,131 @@
+"""Multi-segment impairment timelines (§8.3).
+
+A timeline is 10 segments of 300 ms - 3 s.  Four scenario types:
+
+* **Mobility** — every segment introduces a fresh displacement impairment
+  (the Rx keeps moving);
+* **Blockage** — segments alternate between human blockage and clear LOS;
+* **Interference** — segments alternate between an active interferer and a
+  clear channel;
+* **Mixed** — each impaired segment draws a random impairment type.
+
+Impaired segments are drawn from dataset entries of the matching kind;
+clear segments carry the adjacent entry's pre-impairment throughput.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.dataset.entry import Dataset, DatasetEntry, ImpairmentKind
+
+SEGMENTS_PER_TIMELINE = 10
+SEGMENT_DURATION_RANGE_S = (0.3, 3.0)
+
+
+class ScenarioType(enum.Enum):
+    MOBILITY = "mobility"
+    BLOCKAGE = "blockage"
+    INTERFERENCE = "interference"
+    MIXED = "mixed"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One timeline segment: either an impairment event or a clear period."""
+
+    duration_s: float
+    entry: Optional[DatasetEntry] = None  # None = clear channel
+    clear_rate_mbps: float = 0.0
+
+
+@dataclass
+class Timeline:
+    """An ordered list of segments plus provenance."""
+
+    scenario: ScenarioType
+    segments: list[Segment] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        return sum(s.duration_s for s in self.segments)
+
+    @property
+    def num_breaks(self) -> int:
+        return sum(1 for s in self.segments if s.entry is not None)
+
+
+class TimelineGenerator:
+    """Draw random timelines from a dataset (§8.3's 50-timeline batches)."""
+
+    _KIND_FOR_SCENARIO = {
+        ScenarioType.MOBILITY: ImpairmentKind.DISPLACEMENT,
+        ScenarioType.BLOCKAGE: ImpairmentKind.BLOCKAGE,
+        ScenarioType.INTERFERENCE: ImpairmentKind.INTERFERENCE,
+    }
+
+    def __init__(self, dataset: Dataset, seed: int = 0):
+        self._pools = {
+            kind: dataset.of_kind(kind).entries
+            for kind in (
+                ImpairmentKind.DISPLACEMENT,
+                ImpairmentKind.BLOCKAGE,
+                ImpairmentKind.INTERFERENCE,
+            )
+        }
+        for kind, pool in self._pools.items():
+            if not pool:
+                raise ValueError(f"dataset has no {kind.value} entries")
+        self._rng = np.random.default_rng(seed)
+
+    def _draw_duration(self) -> float:
+        low, high = SEGMENT_DURATION_RANGE_S
+        return float(self._rng.uniform(low, high))
+
+    def _draw_entry(self, kind: ImpairmentKind) -> DatasetEntry:
+        pool = self._pools[kind]
+        return pool[int(self._rng.integers(0, len(pool)))]
+
+    def generate(
+        self, scenario: ScenarioType, num_segments: int = SEGMENTS_PER_TIMELINE
+    ) -> Timeline:
+        """One random timeline of the given scenario type."""
+        if num_segments < 1:
+            raise ValueError("need at least one segment")
+        timeline = Timeline(scenario)
+        alternating = scenario in (ScenarioType.BLOCKAGE, ScenarioType.INTERFERENCE)
+        for index in range(num_segments):
+            duration = self._draw_duration()
+            if alternating and index % 2 == 1:
+                # Clear segment between impairments: the link has been
+                # repaired; it runs at the *previous* entry's pre-impairment
+                # rate until the next event.
+                previous = timeline.segments[-1].entry
+                rate = previous.initial_throughput_mbps if previous else 0.0
+                timeline.segments.append(Segment(duration, None, rate))
+                continue
+            if scenario is ScenarioType.MIXED:
+                kind = self._pools_keys()[int(self._rng.integers(0, 3))]
+            else:
+                kind = self._KIND_FOR_SCENARIO[scenario]
+            timeline.segments.append(Segment(duration, self._draw_entry(kind)))
+        return timeline
+
+    def _pools_keys(self) -> list[ImpairmentKind]:
+        return list(self._pools.keys())
+
+    def batch(
+        self,
+        scenario: ScenarioType,
+        count: int = 50,
+        num_segments: int = SEGMENTS_PER_TIMELINE,
+    ) -> list[Timeline]:
+        """The §8.3 batch: ``count`` random timelines of one scenario type."""
+        return [self.generate(scenario, num_segments) for _ in range(count)]

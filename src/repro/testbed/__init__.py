@@ -1,0 +1,22 @@
+"""X60 testbed emulation: sector sweeps, per-MCS trace capture, and the
+state-measurement records the dataset pipeline consumes."""
+
+from repro.testbed.traces import (
+    StateMeasurement,
+    PhyTrace,
+    McsTraces,
+    best_working_mcs,
+    best_working_throughput,
+)
+from repro.testbed.x60 import X60Link, TX_POWER_DBM, TOF_MIN_SNR_DB
+
+__all__ = [
+    "StateMeasurement",
+    "PhyTrace",
+    "McsTraces",
+    "best_working_mcs",
+    "best_working_throughput",
+    "X60Link",
+    "TX_POWER_DBM",
+    "TOF_MIN_SNR_DB",
+]

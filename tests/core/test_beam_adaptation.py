@@ -1,0 +1,90 @@
+"""Beam adaptation tests: overhead model + live sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.constants import BA_OVERHEADS_S
+from repro.core.beam_adaptation import (
+    BeamAdaptation,
+    SweepKind,
+    ba_overhead_s,
+    canonical_overheads_s,
+    sectors_for_beamwidth,
+)
+from repro.env.geometry import Point
+from repro.env.placement import RadioPose
+from repro.env.rooms import make_lobby
+from repro.testbed.x60 import X60Link
+
+
+class TestOverheadModel:
+    def test_sector_count(self):
+        assert sectors_for_beamwidth(30.0) == 4
+        assert sectors_for_beamwidth(3.0) == 40
+        with pytest.raises(ValueError):
+            sectors_for_beamwidth(0.0)
+
+    def test_narrow_beams_cost_more(self):
+        wide = ba_overhead_s(SweepKind.TX_ONLY_QUASI_OMNI, 30.0)
+        narrow = ba_overhead_s(SweepKind.TX_ONLY_QUASI_OMNI, 3.0)
+        assert narrow == pytest.approx(10 * wide)
+
+    def test_cots_sweep_is_sub_millisecond(self):
+        # 30° beams with quasi-omni reception: ~0.06 ms — the same order
+        # as the paper's 0.5 ms operating point.
+        assert ba_overhead_s(SweepKind.TX_ONLY_QUASI_OMNI, 30.0) < 1e-3
+
+    def test_exhaustive_sweep_is_hundreds_of_ms(self):
+        # 9° beams, both sides trained: the paper's 150-250 ms regime.
+        overhead = ba_overhead_s(SweepKind.EXHAUSTIVE, 9.0)
+        assert 0.1 < overhead < 0.4
+
+    def test_tx_and_rx_doubles_tx_only(self):
+        assert ba_overhead_s(SweepKind.TX_AND_RX, 15.0) == pytest.approx(
+            2 * ba_overhead_s(SweepKind.TX_ONLY_QUASI_OMNI, 15.0)
+        )
+
+    def test_canonical_values(self):
+        assert canonical_overheads_s() == BA_OVERHEADS_S == (
+            0.5e-3, 5e-3, 150e-3, 250e-3,
+        )
+
+
+class TestLiveSweeps:
+    @pytest.fixture
+    def link(self):
+        room = make_lobby()
+        return X60Link(room, RadioPose(Point(2.0, 6.0), 0.0))
+
+    @pytest.fixture
+    def rx(self):
+        return RadioPose(Point(10.0, 6.0), 180.0)
+
+    def test_exhaustive_finds_global_best(self, link, rx):
+        state = link.channel_state(rx)
+        ba = BeamAdaptation(SweepKind.EXHAUSTIVE)
+        result = ba.run(link, state, rx)
+        assert result.pairs_tested == len(link.codebook) ** 2
+        # The result matches the testbed's own (noiseless) sweep.
+        expected = link.sector_sweep(state, rx, rng=None)
+        assert (result.tx_beam, result.rx_beam) == expected[:2]
+
+    def test_tx_only_keeps_rx_beam(self, link, rx):
+        state = link.channel_state(rx)
+        ba = BeamAdaptation(SweepKind.TX_ONLY_QUASI_OMNI)
+        result = ba.run(link, state, rx, current_rx_beam=12)
+        assert result.rx_beam == 12
+        assert result.pairs_tested == len(link.codebook)
+
+    def test_tx_only_snr_upper_bounded_by_exhaustive(self, link, rx):
+        state = link.channel_state(rx)
+        tx_only = BeamAdaptation(SweepKind.TX_ONLY_QUASI_OMNI).run(
+            link, state, rx, current_rx_beam=12
+        )
+        exhaustive = BeamAdaptation(SweepKind.EXHAUSTIVE).run(link, state, rx)
+        assert tx_only.snr_db <= exhaustive.snr_db + 1e-9
+
+    def test_explicit_overhead_respected(self, link, rx):
+        ba = BeamAdaptation(SweepKind.EXHAUSTIVE, overhead_s=0.25)
+        state = link.channel_state(rx)
+        assert ba.run(link, state, rx).overhead_s == 0.25

@@ -1,0 +1,100 @@
+"""Blockage-pattern learner tests (the §7 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import BlockagePatternLearner
+
+
+class TestPeriodDetection:
+    def test_perfect_periodicity(self):
+        learner = BlockagePatternLearner()
+        for t in (1.0, 3.0, 5.0, 7.0, 9.0):
+            learner.record_break(t)
+        assert learner.period_s() == pytest.approx(2.0)
+
+    def test_too_few_breaks_reports_nothing(self):
+        learner = BlockagePatternLearner(min_breaks=4)
+        for t in (1.0, 3.0, 5.0):
+            learner.record_break(t)
+        assert learner.period_s() is None
+
+    def test_aperiodic_breaks_report_nothing(self):
+        learner = BlockagePatternLearner()
+        for t in (1.0, 1.3, 5.0, 5.2, 11.0):
+            learner.record_break(t)
+        assert learner.period_s() is None
+
+    def test_jittered_periodicity_within_tolerance(self):
+        rng = np.random.default_rng(0)
+        learner = BlockagePatternLearner(tolerance=0.2)
+        t = 0.0
+        for _ in range(10):
+            t += 2.0 + float(rng.normal(0, 0.1))
+            learner.record_break(t)
+        assert learner.period_s() == pytest.approx(2.0, abs=0.2)
+
+    def test_history_window_slides(self):
+        learner = BlockagePatternLearner(max_history=6)
+        # Old chaotic phase followed by a clean periodic phase.
+        for t in (0.0, 0.1, 2.7, 2.9):
+            learner.record_break(t)
+        for t in (10.0, 12.0, 14.0, 16.0, 18.0, 20.0):
+            learner.record_break(t)
+        assert learner.num_breaks == 6
+        assert learner.period_s() == pytest.approx(2.0)
+
+    def test_non_monotonic_timestamps_rejected(self):
+        learner = BlockagePatternLearner()
+        learner.record_break(5.0)
+        with pytest.raises(ValueError):
+            learner.record_break(4.0)
+
+
+class TestPrediction:
+    @pytest.fixture
+    def periodic(self) -> BlockagePatternLearner:
+        learner = BlockagePatternLearner()
+        for t in (2.0, 4.0, 6.0, 8.0):
+            learner.record_break(t)
+        return learner
+
+    def test_eta_counts_down(self, periodic):
+        assert periodic.next_break_eta_s(8.5) == pytest.approx(1.5)
+        assert periodic.next_break_eta_s(9.9) == pytest.approx(0.1)
+
+    def test_eta_wraps_past_missed_cycles(self, periodic):
+        # If the 10 s break was missed, the next prediction is 12 s.
+        assert periodic.next_break_eta_s(10.5) == pytest.approx(1.5)
+
+    def test_no_pattern_no_eta(self):
+        learner = BlockagePatternLearner()
+        learner.record_break(1.0)
+        assert learner.next_break_eta_s(2.0) is None
+
+    def test_prearm_window(self, periodic):
+        assert not periodic.should_prearm(8.5, guard_s=0.1)
+        assert periodic.should_prearm(9.95, guard_s=0.1)
+
+    def test_time_travel_rejected(self, periodic):
+        with pytest.raises(ValueError):
+            periodic.next_break_eta_s(7.0)
+
+    def test_reset(self, periodic):
+        periodic.reset()
+        assert periodic.num_breaks == 0
+        assert periodic.period_s() is None
+
+
+class TestEndToEndValue:
+    def test_prearm_predicts_a_scripted_pacer(self):
+        """A person crossing the LOS every 2.5 s: after a few hits, the
+        learner predicts every subsequent hit within the guard window."""
+        learner = BlockagePatternLearner()
+        hits = [2.5 * k for k in range(1, 9)]
+        predicted = 0
+        for hit in hits:
+            if learner.should_prearm(hit - 0.05, guard_s=0.1):
+                predicted += 1
+            learner.record_break(hit)
+        assert predicted >= 4  # everything after the warm-up is predicted

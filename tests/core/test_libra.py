@@ -1,0 +1,136 @@
+"""LiBRA controller tests (Algorithm 1's selectAction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ground_truth import Action
+from repro.core.libra import LiBRA, LiBRAConfig, ThresholdClassifier
+from repro.core.metrics import TOF_INF_SENTINEL_NS, FeatureVector
+from repro.core.policies import Observation
+
+
+class ConstantModel:
+    """Predicts one fixed label — isolates the controller's plumbing."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.seen = []
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self.seen.append(np.array(features))
+        return np.array([self.label] * len(np.atleast_2d(features)))
+
+
+def obs(ack_missing=False, mcs=6, ba_overhead=5e-3, working=True) -> Observation:
+    features = None if ack_missing else FeatureVector(3.0, -2.0, 0.5, 0.9, 0.8, 0.7, mcs)
+    return Observation(features, ack_missing, mcs, working, ba_overhead)
+
+
+class TestModelDispatch:
+    @pytest.mark.parametrize("label,expected", [
+        ("NA", Action.NA), ("RA", Action.RA), ("BA", Action.BA),
+    ])
+    def test_model_prediction_becomes_action(self, label, expected):
+        policy = LiBRA(ConstantModel(label))
+        assert policy.decide(obs()).action is expected
+
+    def test_model_receives_feature_row(self):
+        model = ConstantModel("RA")
+        LiBRA(model).decide(obs())
+        assert model.seen[0].shape == (1, 7)
+
+    def test_features_required_with_ack(self):
+        policy = LiBRA(ConstantModel("RA"))
+        broken = Observation(None, False, 6, True, 5e-3)
+        with pytest.raises(ValueError):
+            policy.decide(broken)
+
+
+class TestMissingAckRule:
+    def test_low_mcs_always_ba(self):
+        policy = LiBRA(ConstantModel("RA"))
+        for mcs in range(6):
+            decision = policy.decide(obs(ack_missing=True, mcs=mcs, ba_overhead=0.25))
+            assert decision.action is Action.BA, mcs
+
+    def test_high_mcs_cheap_sweep_ba(self):
+        policy = LiBRA(ConstantModel("RA"))
+        decision = policy.decide(obs(ack_missing=True, mcs=7, ba_overhead=0.5e-3))
+        assert decision.action is Action.BA
+
+    def test_high_mcs_expensive_sweep_ra(self):
+        policy = LiBRA(ConstantModel("BA"))
+        decision = policy.decide(obs(ack_missing=True, mcs=7, ba_overhead=0.25))
+        assert decision.action is Action.RA
+
+    def test_threshold_boundary(self):
+        config = LiBRAConfig(ba_overhead_threshold_s=10e-3)
+        policy = LiBRA(ConstantModel("RA"), config)
+        at_threshold = policy.decide(obs(ack_missing=True, mcs=8, ba_overhead=10e-3))
+        assert at_threshold.action is Action.RA  # strictly-below comparison
+
+
+class TestConfig:
+    def test_invalid_decision_period(self):
+        with pytest.raises(ValueError):
+            LiBRAConfig(decision_period_frames=0)
+
+    def test_defaults_match_paper(self):
+        config = LiBRAConfig()
+        assert config.missing_ack_mcs_threshold == 6
+        assert config.decision_period_frames == 2
+
+
+class TestThresholdClassifier:
+    """The §6.1 hand-rule baseline; each rule mirrors one figure's note."""
+
+    classifier = ThresholdClassifier()
+
+    def _predict(self, **kwargs) -> str:
+        base = dict(
+            snr_diff=0.0, tof_diff=-5.0, noise_diff=0.0,
+            pdp=0.95, csi=0.9, cdr=0.5, mcs=6,
+        )
+        base.update(kwargs)
+        row = np.array([
+            base["snr_diff"], base["tof_diff"], base["noise_diff"],
+            base["pdp"], base["csi"], base["cdr"], base["mcs"],
+        ])
+        return str(self.classifier.predict(row)[0])
+
+    def test_big_snr_drop_is_ba(self):
+        assert self._predict(snr_diff=12.0) == "BA"
+
+    def test_infinite_tof_is_ba(self):
+        assert self._predict(tof_diff=TOF_INF_SENTINEL_NS) == "BA"
+
+    def test_zero_tof_is_ba(self):
+        assert self._predict(tof_diff=0.0, snr_diff=4.0) == "BA"
+
+    def test_backward_motion_is_ra(self):
+        assert self._predict(tof_diff=-6.0, snr_diff=4.0) == "RA"
+
+    def test_stable_link_is_na(self):
+        assert self._predict(snr_diff=0.5, cdr=0.95) == "NA"
+
+    def test_batch_prediction(self):
+        rows = np.zeros((3, 7))
+        rows[:, 5] = 0.95  # high CDR
+        labels = self.classifier.predict(rows)
+        assert len(labels) == 3
+
+
+class TestLiBRAOnRealModel:
+    def test_libra_with_trained_forest(self, trained_forest):
+        policy = LiBRA(trained_forest)
+        decision = policy.decide(obs())
+        assert decision.action in (Action.RA, Action.BA, Action.NA)
+
+    def test_big_rotation_features_trigger_ba(self, trained_forest):
+        policy = LiBRA(trained_forest)
+        rotation = FeatureVector(
+            snr_diff_db=18.0, tof_diff_ns=TOF_INF_SENTINEL_NS, noise_diff_db=0.0,
+            pdp_similarity=0.7, csi_similarity=0.3, cdr=0.0, initial_mcs=4,
+        )
+        observation = Observation(rotation, False, 4, False, 5e-3)
+        assert policy.decide(observation).action is Action.BA

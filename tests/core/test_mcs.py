@@ -1,0 +1,65 @@
+"""MCS table tests."""
+
+import pytest
+
+from repro.core.mcs import AD_MCS_SET, MCSSet, Mcs, X60_MCS_SET
+
+
+class TestX60Set:
+    def test_nine_mcs_spanning_paper_rates(self):
+        assert len(X60_MCS_SET) == 9
+        assert X60_MCS_SET[0].rate_mbps == 300.0
+        assert X60_MCS_SET.max_rate_mbps == 4750.0
+
+    def test_indices_contiguous_from_zero(self):
+        assert [m.index for m in X60_MCS_SET] == list(range(9))
+
+    def test_thresholds_increase_with_rate(self):
+        thresholds = [m.snr_threshold_db for m in X60_MCS_SET]
+        assert thresholds == sorted(thresholds)
+
+    def test_codeword_sizes_span_paper_range(self):
+        sizes = [m.codeword_bytes for m in X60_MCS_SET]
+        assert min(sizes) == 180 and max(sizes) == 1080
+
+
+class TestAdSet:
+    def test_twelve_sc_mcs(self):
+        assert len(AD_MCS_SET) == 12
+        assert AD_MCS_SET.min_index == 1
+        assert AD_MCS_SET.max_rate_mbps == 4620.0
+
+    def test_rates_match_standard_extremes(self):
+        assert AD_MCS_SET[0].rate_mbps == 385.0
+
+
+class TestMCSSetApi:
+    def test_by_index(self):
+        assert X60_MCS_SET.by_index(4).modulation == "16QAM"
+        with pytest.raises(KeyError):
+            X60_MCS_SET.by_index(99)
+
+    def test_rate_lookup(self):
+        assert X60_MCS_SET.rate_mbps(3) == 1300.0
+
+    def test_rate_bps(self):
+        assert X60_MCS_SET[0].rate_bps == 300e6
+
+    def test_highest_below_snr(self):
+        # 16 dB clears MCS5's 15 dB but not MCS6's 17 dB.
+        assert X60_MCS_SET.highest_below_snr(16.0).index == 5
+        assert X60_MCS_SET.highest_below_snr(100.0).index == 8
+        assert X60_MCS_SET.highest_below_snr(-5.0) is None
+
+    def test_highest_below_snr_with_margin(self):
+        assert X60_MCS_SET.highest_below_snr(16.0, margin_db=3.0).index == 4
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            MCSSet([], "empty")
+
+    def test_unordered_set_rejected(self):
+        a = Mcs(0, "BPSK", 0.5, 1000.0)
+        b = Mcs(1, "BPSK", 0.5, 500.0)
+        with pytest.raises(ValueError):
+            MCSSet([a, b], "bad")

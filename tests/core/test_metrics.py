@@ -1,0 +1,105 @@
+"""Feature-vector tests (§6.1 metrics)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    FEATURE_NAMES,
+    TOF_DIFF_CLIP_NS,
+    TOF_INF_SENTINEL_NS,
+    FeatureVector,
+    compute_features,
+    tof_difference_ns,
+)
+from repro.testbed.traces import StateMeasurement
+
+
+def measurement(
+    snr=25.0, noise=-73.0, tof=30.0, beam=(12, 12), pdp_peak=0
+) -> StateMeasurement:
+    pdp = np.zeros(256)
+    pdp[pdp_peak] = 0.8
+    pdp[pdp_peak + 20] = 0.2
+    cdr = np.where(np.arange(9) <= 6, 0.95, 0.0)
+    tput = cdr * np.array([300, 450, 865, 1300, 1730, 2600, 3030, 3900, 4750])
+    return StateMeasurement(
+        room_name="test",
+        tx_beam=beam[0],
+        rx_beam=beam[1],
+        snr_db=snr,
+        true_snr_db=snr,
+        noise_dbm=noise,
+        tof_ns=tof,
+        pdp=pdp,
+        cdr=cdr,
+        throughput_mbps=tput,
+    )
+
+
+class TestTofDifference:
+    def test_backward_motion_is_negative(self):
+        # Current ToF grows when moving away: initial - current < 0.
+        assert tof_difference_ns(30.0, 40.0) == -10.0
+
+    def test_rotation_is_zero(self):
+        assert tof_difference_ns(30.0, 30.0) == 0.0
+
+    def test_clipped_to_plot_range(self):
+        assert tof_difference_ns(10.0, 100.0) == -TOF_DIFF_CLIP_NS
+        assert tof_difference_ns(100.0, 10.0) == TOF_DIFF_CLIP_NS
+
+    def test_infinity_maps_to_sentinel(self):
+        assert tof_difference_ns(30.0, math.inf) == TOF_INF_SENTINEL_NS
+        assert tof_difference_ns(math.inf, 30.0) == TOF_INF_SENTINEL_NS
+
+    def test_sentinel_outside_clip_range(self):
+        assert TOF_INF_SENTINEL_NS > TOF_DIFF_CLIP_NS
+
+
+class TestComputeFeatures:
+    def test_feature_signs(self):
+        initial = measurement(snr=28.0, noise=-74.0, tof=30.0)
+        degraded = measurement(snr=18.0, noise=-70.0, tof=36.0)
+        features = compute_features(initial, degraded)
+        assert features.snr_diff_db == pytest.approx(10.0)  # drop is positive
+        assert features.noise_diff_db == pytest.approx(4.0)  # rise is positive
+        assert features.tof_diff_ns == pytest.approx(-6.0)  # moved away
+        assert features.initial_mcs == 6
+
+    def test_identical_states_give_null_deltas(self):
+        a = measurement()
+        features = compute_features(a, a)
+        assert features.snr_diff_db == 0.0
+        assert features.pdp_similarity == pytest.approx(1.0)
+        assert features.csi_similarity == pytest.approx(1.0)
+        assert features.cdr == pytest.approx(0.95)
+
+    def test_beam_pair_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compute_features(measurement(beam=(1, 1)), measurement(beam=(2, 2)))
+
+    def test_dead_initial_link_rejected(self):
+        dead = measurement()
+        dead.cdr[:] = 0.0
+        dead.throughput_mbps[:] = 0.0
+        with pytest.raises(ValueError):
+            compute_features(dead, measurement())
+
+
+class TestFeatureVector:
+    def test_round_trip_through_array(self):
+        features = FeatureVector(7.5, -3.0, 1.2, 0.93, 0.71, 0.4, 6)
+        again = FeatureVector.from_array(features.to_array())
+        assert again == features
+
+    def test_array_order_matches_names(self):
+        features = FeatureVector(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7)
+        array = features.to_array()
+        assert len(array) == len(FEATURE_NAMES) == 7
+        assert list(array) == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureVector.from_array(np.zeros(5))

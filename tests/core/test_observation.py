@@ -1,0 +1,106 @@
+"""Observation-window tests (the §7 metric pipeline)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.observation import (
+    FrameFeedback,
+    MetricWindow,
+    WindowSnapshot,
+    features_between,
+)
+
+
+def feedback(snr=20.0, noise=-73.0, tof=30.0, cdr=0.95, peak=0) -> FrameFeedback:
+    pdp = np.zeros(64)
+    pdp[peak] = 0.8
+    pdp[peak + 10] = 0.2
+    return FrameFeedback(snr, noise, tof, pdp, cdr)
+
+
+class TestMetricWindow:
+    def test_incomplete_window_returns_none(self):
+        window = MetricWindow(frames_per_window=2)
+        assert window.push(feedback()) is None
+
+    def test_snapshot_on_completion(self):
+        window = MetricWindow(frames_per_window=2)
+        window.push(feedback(snr=20.0))
+        snapshot = window.push(feedback(snr=22.0))
+        assert snapshot is not None
+        assert snapshot.snr_db == pytest.approx(21.0)
+        assert snapshot.frames == 2
+
+    def test_window_resets_after_snapshot(self):
+        window = MetricWindow(frames_per_window=2)
+        window.push(feedback(snr=10.0))
+        window.push(feedback(snr=10.0))
+        window.push(feedback(snr=30.0))
+        snapshot = window.push(feedback(snr=30.0))
+        assert snapshot.snr_db == pytest.approx(30.0)  # old frames gone
+
+    def test_infinite_tof_excluded_from_average(self):
+        window = MetricWindow(frames_per_window=2)
+        window.push(feedback(tof=30.0))
+        snapshot = window.push(feedback(tof=math.inf))
+        assert snapshot.tof_ns == pytest.approx(30.0)
+
+    def test_all_infinite_tof_stays_infinite(self):
+        window = MetricWindow(frames_per_window=2)
+        window.push(feedback(tof=math.inf))
+        snapshot = window.push(feedback(tof=math.inf))
+        assert math.isinf(snapshot.tof_ns)
+
+    def test_pdp_averaged_elementwise(self):
+        window = MetricWindow(frames_per_window=2)
+        window.push(feedback(peak=0))
+        snapshot = window.push(feedback(peak=4))
+        assert snapshot.pdp[0] == pytest.approx(0.4)
+        assert snapshot.pdp[4] == pytest.approx(0.4)
+
+    def test_manual_reset(self):
+        window = MetricWindow(frames_per_window=2)
+        window.push(feedback(snr=5.0))
+        window.reset()
+        window.push(feedback(snr=20.0))
+        snapshot = window.push(feedback(snr=20.0))
+        assert snapshot.snr_db == pytest.approx(20.0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            MetricWindow(frames_per_window=0)
+
+
+class TestFeaturesBetween:
+    def _snapshot(self, snr=20.0, noise=-73.0, tof=30.0, cdr=0.95, peak=0):
+        pdp = np.zeros(64)
+        pdp[peak] = 0.8
+        pdp[peak + 10] = 0.2
+        return WindowSnapshot(snr, noise, tof, pdp, cdr, frames=2)
+
+    def test_stable_link_null_features(self):
+        a = self._snapshot()
+        features = features_between(a, self._snapshot(), current_mcs=6)
+        assert features.snr_diff_db == 0.0
+        assert features.tof_diff_ns == 0.0
+        assert features.pdp_similarity == pytest.approx(1.0)
+        assert features.initial_mcs == 6
+
+    def test_degradation_signs(self):
+        previous = self._snapshot(snr=25.0, noise=-74.0, tof=30.0)
+        current = self._snapshot(snr=15.0, noise=-70.0, tof=36.0, cdr=0.2)
+        features = features_between(previous, current, 5)
+        assert features.snr_diff_db == pytest.approx(10.0)
+        assert features.noise_diff_db == pytest.approx(4.0)
+        assert features.tof_diff_ns == pytest.approx(-6.0)
+        assert features.cdr == pytest.approx(0.2)
+
+    def test_infinite_current_tof_maps_to_sentinel(self):
+        from repro.core.metrics import TOF_INF_SENTINEL_NS
+
+        previous = self._snapshot(tof=30.0)
+        current = self._snapshot(tof=math.inf)
+        features = features_between(previous, current, 4)
+        assert features.tof_diff_ns == TOF_INF_SENTINEL_NS

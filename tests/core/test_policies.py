@@ -1,0 +1,69 @@
+"""Heuristic policy tests."""
+
+import pytest
+
+from repro.core.ground_truth import Action
+from repro.core.metrics import FeatureVector
+from repro.core.policies import (
+    BAFirstPolicy,
+    Observation,
+    RAFirstPolicy,
+    StaticPolicy,
+)
+
+
+def obs(ack_missing=False, working=True, mcs=6, ba_overhead=5e-3) -> Observation:
+    features = None if ack_missing else FeatureVector(3.0, -2.0, 0.5, 0.9, 0.8, 0.7, mcs)
+    return Observation(
+        features=features,
+        ack_missing=ack_missing,
+        current_mcs=mcs,
+        current_mcs_working=working,
+        ba_overhead_s=ba_overhead,
+    )
+
+
+class TestRAFirst:
+    def test_na_while_working(self):
+        assert RAFirstPolicy().decide(obs()).action is Action.NA
+
+    def test_ra_on_broken_mcs(self):
+        assert RAFirstPolicy().decide(obs(working=False)).action is Action.RA
+
+    def test_ra_on_missing_ack(self):
+        assert RAFirstPolicy().decide(obs(ack_missing=True)).action is Action.RA
+
+    def test_never_answers_ba(self):
+        for o in (obs(), obs(working=False), obs(ack_missing=True, working=False)):
+            assert RAFirstPolicy().decide(o).action is not Action.BA
+
+
+class TestBAFirst:
+    def test_na_while_working(self):
+        assert BAFirstPolicy().decide(obs()).action is Action.NA
+
+    def test_ba_on_broken_mcs(self):
+        assert BAFirstPolicy().decide(obs(working=False)).action is Action.BA
+
+    def test_ba_on_missing_ack(self):
+        assert BAFirstPolicy().decide(obs(ack_missing=True)).action is Action.BA
+
+
+class TestStatic:
+    def test_always_na(self):
+        policy = StaticPolicy()
+        for o in (obs(), obs(working=False), obs(ack_missing=True)):
+            assert policy.decide(o).action is Action.NA
+
+
+class TestPolicyProtocol:
+    def test_decisions_carry_reasons(self):
+        decision = RAFirstPolicy().decide(obs(working=False))
+        assert decision.reason
+
+    def test_reset_is_safe_default(self):
+        RAFirstPolicy().reset()  # must not raise
+
+    def test_names_are_paper_labels(self):
+        assert RAFirstPolicy().name == "RA First"
+        assert BAFirstPolicy().name == "BA First"

@@ -1,0 +1,121 @@
+"""SNR-mapped RA baseline tests.
+
+The baseline must behave as the paper describes: fast (one frame, no
+probing) but fragile — a static table cannot track real waterfalls, so a
+threshold mismatch of a couple of dB costs real throughput that the
+frame-based algorithm recovers by measuring.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rate_adaptation import RateAdaptation
+from repro.core.snr_rate_adaptation import SnrMappedRateAdaptation
+from repro.constants import X60_MCS_SNR_THRESHOLDS_DB
+from repro.phy.error_model import codeword_delivery_ratio, phy_rate_mbps
+from repro.testbed.traces import McsTraces
+
+
+def traces_at_snr(snr_db: float) -> McsTraces:
+    """Per-MCS traces that follow the true error model at ``snr_db``."""
+    cdr = np.array([codeword_delivery_ratio(snr_db, m) for m in range(9)])
+    tput = np.array([phy_rate_mbps(m) * cdr[m] for m in range(9)])
+    return McsTraces(cdr, tput)
+
+
+@pytest.fixture
+def snr_ra() -> SnrMappedRateAdaptation:
+    return SnrMappedRateAdaptation(
+        frame_time_s=2e-3, estimate_noise_std_db=0.0, backoff_margin_db=1.0
+    )
+
+
+class TestSelectMcs:
+    def test_table_lookup(self, snr_ra):
+        # 16 dB - 1 dB margin clears MCS 4's 12 dB and MCS 5's 15 dB.
+        assert snr_ra.select_mcs(16.0) == 5
+
+    def test_low_snr_floors_at_zero(self, snr_ra):
+        assert snr_ra.select_mcs(-10.0) == 0
+
+    def test_estimate_noise_dithers(self):
+        ra = SnrMappedRateAdaptation(frame_time_s=2e-3, estimate_noise_std_db=2.0)
+        rng = np.random.default_rng(0)
+        picks = {ra.select_mcs(16.0, rng) for _ in range(100)}
+        assert len(picks) > 1
+
+    def test_threshold_bias_shifts_choice(self):
+        biased = SnrMappedRateAdaptation(
+            frame_time_s=2e-3, estimate_noise_std_db=0.0, threshold_bias_db=3.0
+        )
+        nominal = SnrMappedRateAdaptation(
+            frame_time_s=2e-3, estimate_noise_std_db=0.0
+        )
+        assert biased.select_mcs(16.0) < nominal.select_mcs(16.0)
+
+
+class TestRepair:
+    def test_one_shot_repair_costs_one_frame(self, snr_ra):
+        snr = 20.0
+        result = snr_ra.repair(traces_at_snr(snr), snr)
+        assert result.frames_spent == 1
+        assert result.found_mcs is not None
+
+    def test_matched_table_is_near_optimal(self, snr_ra):
+        """When the table matches the waterfalls, SNR mapping works —
+        that is why early work liked it."""
+        snr = 20.0
+        traces = traces_at_snr(snr)
+        mapped = snr_ra.repair(traces, snr)
+        frame_based = RateAdaptation(frame_time_s=2e-3).repair(traces, 8)
+        assert mapped.settled_throughput_mbps >= 0.85 * frame_based.settled_throughput_mbps
+
+    def test_biased_table_loses_throughput(self):
+        """The paper's point: with realistic table/hardware mismatch, the
+        static mapping undershoots while frame-based RA measures its way
+        to the real optimum."""
+        snr = 20.0
+        traces = traces_at_snr(snr)
+        frame_based = RateAdaptation(frame_time_s=2e-3).repair(traces, 8)
+        mismatched = SnrMappedRateAdaptation(
+            frame_time_s=2e-3, estimate_noise_std_db=0.0, threshold_bias_db=4.0
+        )
+        mapped = mismatched.repair(traces, snr)
+        assert mapped.settled_throughput_mbps < 0.8 * frame_based.settled_throughput_mbps
+
+    def test_overshooting_table_breaks_the_link(self):
+        """A table biased the other way picks a dead MCS — worse than
+        suboptimal, the repair fails outright."""
+        snr = X60_MCS_SNR_THRESHOLDS_DB[4] + 1.5  # barely supports MCS 4
+        traces = traces_at_snr(snr)
+        optimistic = SnrMappedRateAdaptation(
+            frame_time_s=2e-3, estimate_noise_std_db=0.0,
+            backoff_margin_db=0.0, threshold_bias_db=-4.0,
+        )
+        result = optimistic.repair(traces, snr)
+        assert result.failed
+
+
+class TestSteadyState:
+    def test_bytes_scale_with_duration(self, snr_ra):
+        snr = 20.0
+        traces = traces_at_snr(snr)
+        one = snr_ra.steady_state_bytes(traces, snr, 1.0)
+        two = snr_ra.steady_state_bytes(traces, snr, 2.0)
+        assert two == pytest.approx(2 * one, rel=1e-6)
+
+    def test_dither_costs_throughput_near_boundary(self):
+        """Estimate noise around a waterfall boundary makes the mapping
+        bounce between a dead rung and a working one."""
+        snr = X60_MCS_SNR_THRESHOLDS_DB[5] + 1.2
+        traces = traces_at_snr(snr)
+        clean = SnrMappedRateAdaptation(frame_time_s=2e-3, estimate_noise_std_db=0.0)
+        noisy = SnrMappedRateAdaptation(frame_time_s=2e-3, estimate_noise_std_db=3.0)
+        rng = np.random.default_rng(0)
+        clean_bytes = clean.steady_state_bytes(traces, snr, 1.0)
+        noisy_bytes = noisy.steady_state_bytes(traces, snr, 1.0, rng)
+        assert noisy_bytes < clean_bytes
+
+    def test_negative_duration_rejected(self, snr_ra):
+        with pytest.raises(ValueError):
+            snr_ra.steady_state_bytes(traces_at_snr(20.0), 20.0, -1.0)

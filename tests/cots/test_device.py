@@ -1,0 +1,97 @@
+"""COTS device model tests (§3 motivation behaviours)."""
+
+import pytest
+
+from repro.cots.device import (
+    AP_PROFILE,
+    PHONE_PROFILE,
+    FadeModel,
+    SessionLog,
+    run_blockage_session,
+    run_mobility_session,
+    run_static_session,
+)
+
+
+class TestProfiles:
+    def test_phone_is_trigger_happy(self):
+        assert PHONE_PROFILE.missing_acks_before_ba < AP_PROFILE.missing_acks_before_ba
+        assert PHONE_PROFILE.sweep_noise_std_db > AP_PROFILE.sweep_noise_std_db
+
+
+class TestFadeModel:
+    def test_typical_sample_is_small(self):
+        import numpy as np
+
+        model = FadeModel(jitter_std_db=1.0, fade_probability=0.0)
+        rng = np.random.default_rng(0)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert abs(np.mean(samples)) < 0.2
+        assert np.std(samples) == pytest.approx(1.0, abs=0.15)
+
+    def test_fades_are_deep_and_rare(self):
+        import numpy as np
+
+        model = FadeModel(jitter_std_db=0.0, fade_probability=0.1)
+        rng = np.random.default_rng(1)
+        samples = np.array([model.sample(rng) for _ in range(2000)])
+        fades = samples < -5.0
+        assert 0.05 < fades.mean() < 0.15
+        assert samples[fades].min() >= -20.0
+
+
+class TestStaticScenario:
+    """Fig. 1: even a static link makes COTS devices trigger BA."""
+
+    def test_phone_flaps_through_sectors(self):
+        log = run_static_session(duration_s=20.0, profile=PHONE_PROFILE, seed=0)
+        assert log.ba_count > 10
+        assert log.distinct_sectors() >= 3
+
+    def test_ap_is_more_stable_than_phone(self):
+        phone = run_static_session(duration_s=20.0, profile=PHONE_PROFILE, seed=0)
+        ap = run_static_session(duration_s=20.0, profile=AP_PROFILE, seed=0)
+        assert ap.sector_switches() < phone.sector_switches()
+
+    def test_disabling_ba_improves_throughput(self):
+        """The paper's Fig. 1c: locking the best sector gives ~26 % more
+        throughput than leaving BA on."""
+        with_ba = run_static_session(duration_s=20.0, ba_enabled=True, seed=1)
+        locked = run_static_session(duration_s=20.0, ba_enabled=False, seed=1)
+        assert locked.throughput_mbps > with_ba.throughput_mbps
+        assert locked.distinct_sectors() == 1
+
+
+class TestBlockageScenario:
+    """Fig. 2: blockage makes the flapping worse, not better."""
+
+    def test_ba_still_flaps_under_blockage(self):
+        log = run_blockage_session(duration_s=15.0, profile=PHONE_PROFILE, seed=0)
+        assert log.ba_count > 5
+
+    def test_locked_best_sector_beats_ba(self):
+        with_ba = run_blockage_session(duration_s=15.0, ba_enabled=True, seed=2)
+        locked = run_blockage_session(duration_s=15.0, ba_enabled=False, seed=2)
+        assert locked.throughput_mbps >= with_ba.throughput_mbps
+
+
+class TestMobilityScenario:
+    """Fig. 3: under real motion BA finally pays off."""
+
+    def test_ba_helps_when_moving(self):
+        with_ba = run_mobility_session(duration_s=15.0, ba_enabled=True, seed=3)
+        locked = run_mobility_session(duration_s=15.0, ba_enabled=False, seed=3)
+        assert with_ba.throughput_mbps > 0
+        # The locked sector goes stale as the client walks away.
+        assert with_ba.throughput_mbps >= 0.9 * locked.throughput_mbps
+
+
+class TestSessionLog:
+    def test_throughput_computation(self):
+        log = SessionLog(duration_s=2.0)
+        log.bytes_delivered = 250e6  # 2 Gb over 2 s = 1000 Mbps
+        assert log.throughput_mbps == pytest.approx(1000.0)
+
+    def test_empty_log(self):
+        assert SessionLog().throughput_mbps == 0.0
+        assert SessionLog().distinct_sectors() == 0

@@ -1,0 +1,127 @@
+"""Measurement-campaign builder tests: Table 1 / Table 2 shapes."""
+
+import numpy as np
+import pytest
+
+from repro.core.ground_truth import Action
+from repro.core.metrics import TOF_INF_SENTINEL_NS
+from repro.dataset.builder import DatasetBuildConfig, build_dataset
+from repro.dataset.entry import ImpairmentKind
+from repro.env.placement import lobby_plan
+
+
+class TestMainDatasetShape:
+    """The paper's Table 1 balance, at shape level (see DESIGN.md §6)."""
+
+    def test_scenario_totals(self, main_dataset):
+        summary = main_dataset.summary()
+        assert 400 <= summary["displacement"]["total"] <= 520  # paper: 479
+        assert 60 <= summary["blockage"]["total"] <= 90  # paper: 81
+        assert summary["interference"]["total"] == 108  # paper: 108
+
+    def test_ba_dominates_displacement(self, main_dataset):
+        row = main_dataset.summary()["displacement"]
+        assert row["BA"] / row["total"] > 0.6  # paper: 79 %
+
+    def test_ba_dominates_blockage(self, main_dataset):
+        row = main_dataset.summary()["blockage"]
+        assert row["BA"] / row["total"] > 0.8  # paper: 89 %
+
+    def test_ra_dominates_interference(self, main_dataset):
+        row = main_dataset.summary()["interference"]
+        assert row["RA"] / row["total"] > 0.55  # paper: 67 %
+
+    def test_overall_ba_majority(self, main_dataset):
+        row = main_dataset.summary()["overall"]
+        assert 0.55 < row["BA"] / row["total"] < 0.85  # paper: 73 %
+
+    def test_position_counts(self, main_dataset):
+        summary = main_dataset.summary()
+        assert summary["blockage"]["positions"] == 12  # paper: 12
+        assert summary["interference"]["positions"] == 12  # paper: 12
+        assert 60 <= summary["displacement"]["positions"] <= 110  # paper: 94
+
+    def test_all_six_rooms_present(self, main_dataset):
+        assert len(main_dataset.rooms()) == 6
+
+
+class TestTestingDatasetShape:
+    """Table 2: the cross-building dataset."""
+
+    def test_two_buildings(self, testing_dataset):
+        assert set(testing_dataset.rooms()) == {
+            "building1-corridor", "building2-open",
+        }
+
+    def test_scenario_totals(self, testing_dataset):
+        summary = testing_dataset.summary()
+        assert 100 <= summary["displacement"]["total"] <= 200  # paper: 165
+        assert summary["interference"]["total"] == 36  # paper: 36
+        assert summary["blockage"]["positions"] == 4
+        assert summary["interference"]["positions"] == 4
+
+    def test_smaller_than_main(self, main_dataset, testing_dataset):
+        assert len(testing_dataset) < len(main_dataset) / 2
+
+
+class TestEntryContents:
+    def test_every_entry_has_working_initial_mcs(self, main_dataset):
+        for entry in main_dataset:
+            assert 0 <= entry.initial_mcs <= 8
+            assert entry.initial_throughput_mbps > 150.0
+
+    def test_features_are_finite(self, main_dataset):
+        X = main_dataset.feature_matrix()
+        assert np.isfinite(X).all()
+
+    def test_tof_sentinel_used_somewhere(self, main_dataset):
+        """90° rotations kill the ToF measurement; the sentinel must show
+        up in the displacement data (paper §6.1)."""
+        X = main_dataset.of_kind(ImpairmentKind.DISPLACEMENT).feature_matrix()
+        assert (X[:, 1] >= TOF_INF_SENTINEL_NS - 1e-9).any()
+
+    def test_backward_motion_has_negative_tof_diff(self, main_dataset):
+        backward = main_dataset.filter(lambda e: "backward" in e.detail)
+        assert len(backward) > 0
+        assert all(e.features.tof_diff_ns < 0 for e in backward)
+
+    def test_interference_raises_reported_noise(self, main_dataset):
+        intf = main_dataset.of_kind(ImpairmentKind.INTERFERENCE).feature_matrix()
+        disp = main_dataset.of_kind(ImpairmentKind.DISPLACEMENT).feature_matrix()
+        assert intf[:, 2].mean() > disp[:, 2].mean() + 2.0
+
+    def test_interference_keeps_geometry(self, main_dataset):
+        """PDP similarity stays near 1 under interference (geometry is
+        untouched); under blockage it drops for some entries."""
+        intf = main_dataset.of_kind(ImpairmentKind.INTERFERENCE).feature_matrix()
+        assert np.median(intf[:, 3]) > 0.95
+
+
+class TestNaAugmentation:
+    def test_na_entries_present_when_enabled(self, main_dataset_with_na):
+        na = main_dataset_with_na.of_kind(ImpairmentKind.NONE)
+        assert len(na) > 100  # roughly one per state
+
+    def test_na_features_are_null_deltas(self, main_dataset_with_na):
+        na = main_dataset_with_na.of_kind(ImpairmentKind.NONE)
+        X = na.feature_matrix()
+        assert np.abs(np.median(X[:, 0])) < 1.5  # snr diff ~ jitter only
+        assert np.median(X[:, 3]) > 0.98  # pdp similarity ~ 1
+
+    def test_without_na_matches_plain_build(self, main_dataset, main_dataset_with_na):
+        assert len(main_dataset_with_na.without_na()) == len(main_dataset)
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        config = DatasetBuildConfig(seed=7)
+        a = build_dataset([lobby_plan()], config)
+        b = build_dataset([lobby_plan()], config)
+        assert len(a) == len(b)
+        assert (a.feature_matrix() == b.feature_matrix()).all()
+        assert (a.labels() == b.labels()).all()
+
+    def test_different_seed_different_noise(self):
+        a = build_dataset([lobby_plan()], DatasetBuildConfig(seed=1))
+        b = build_dataset([lobby_plan()], DatasetBuildConfig(seed=2))
+        assert (a.feature_matrix() != b.feature_matrix()).any()

@@ -1,0 +1,69 @@
+"""Public-CSV format tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.ground_truth import Action
+from repro.dataset.entry import Dataset, ImpairmentKind
+from repro.dataset.io import CSV_COLUMNS, load_features_csv, save_features_csv
+from tests.conftest import make_entry
+
+
+@pytest.fixture
+def dataset() -> Dataset:
+    ds = Dataset(name="csv-test")
+    ds.append(make_entry([300, 450], [300, 450, 865], 2, Action.BA))
+    ds.append(
+        make_entry([300], [300], 0, Action.RA, kind=ImpairmentKind.INTERFERENCE)
+    )
+    return ds
+
+
+class TestRoundTrip:
+    def test_features_and_labels_survive(self, dataset, tmp_path):
+        path = tmp_path / "features.csv"
+        save_features_csv(dataset, path)
+        X, y, provenance = load_features_csv(path)
+        assert X.shape == (2, 7)
+        assert list(y) == ["BA", "RA"]
+        assert np.allclose(X, dataset.feature_matrix(), atol=1e-4)
+        assert provenance[1]["kind"] == "interference"
+
+    def test_real_dataset(self, testing_dataset, tmp_path):
+        path = tmp_path / "testing.csv"
+        save_features_csv(testing_dataset, path)
+        X, y, _prov = load_features_csv(path)
+        assert len(y) == len(testing_dataset)
+        assert np.allclose(X, testing_dataset.feature_matrix(), atol=1e-4)
+
+    def test_trainable_from_csv(self, testing_dataset, tmp_path):
+        """The public artifact is enough to train a classifier."""
+        from repro.ml.forest import RandomForestClassifier
+
+        path = tmp_path / "testing.csv"
+        save_features_csv(testing_dataset, path)
+        X, y, _prov = load_features_csv(path)
+        model = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+
+class TestFormat:
+    def test_header(self, dataset, tmp_path):
+        path = tmp_path / "features.csv"
+        save_features_csv(dataset, path)
+        header = path.read_text().splitlines()[0]
+        assert header == ",".join(CSV_COLUMNS)
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="features CSV"):
+            load_features_csv(path)
+
+    def test_empty_body_ok(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text(",".join(CSV_COLUMNS) + "\n")
+        X, y, provenance = load_features_csv(path)
+        assert X.shape == (0, 7)
+        assert len(y) == 0
+        assert provenance == []

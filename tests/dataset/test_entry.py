@@ -1,0 +1,103 @@
+"""Dataset container tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.ground_truth import Action, GroundTruthConfig
+from repro.dataset.entry import Dataset, ImpairmentKind
+from tests.conftest import make_entry
+
+
+@pytest.fixture
+def small_dataset() -> Dataset:
+    ds = Dataset(name="small")
+    ds.append(make_entry([300, 450], [300, 450, 865, 1300], 3, Action.BA))
+    ds.append(make_entry([300, 450, 865], [300, 450, 865], 2, Action.RA))
+    ds.append(
+        make_entry([300], [300, 450], 1, Action.BA, kind=ImpairmentKind.BLOCKAGE)
+    )
+    ds.append(
+        make_entry([300, 450], [300, 450], 1, Action.RA, kind=ImpairmentKind.INTERFERENCE)
+    )
+    return ds
+
+
+class TestContainer:
+    def test_len_iter_getitem(self, small_dataset):
+        assert len(small_dataset) == 4
+        assert small_dataset[0].kind is ImpairmentKind.DISPLACEMENT
+        assert len(list(small_dataset)) == 4
+
+    def test_extend(self, small_dataset):
+        extra = [make_entry([300], [300], 0, Action.RA)]
+        small_dataset.extend(extra)
+        assert len(small_dataset) == 5
+
+    def test_filters(self, small_dataset):
+        assert len(small_dataset.of_kind(ImpairmentKind.DISPLACEMENT)) == 2
+        assert len(small_dataset.filter(lambda e: e.label is Action.BA)) == 2
+
+    def test_rooms_order_preserving(self, small_dataset):
+        assert small_dataset.rooms() == ["synthetic"]
+
+
+class TestMlViews:
+    def test_feature_matrix_shape(self, small_dataset):
+        X = small_dataset.feature_matrix()
+        assert X.shape == (4, 7)
+
+    def test_labels_default(self, small_dataset):
+        labels = small_dataset.labels()
+        assert list(labels) == ["BA", "RA", "BA", "RA"]
+
+    def test_relabelling_with_config(self, small_dataset):
+        # A delay-weighted config with a huge BA overhead flips BA wins
+        # whose throughput edge is small.
+        config = GroundTruthConfig(alpha=0.0, ba_overhead_s=0.5)
+        labels = small_dataset.labels(config)
+        assert "RA" in labels
+        assert len(labels) == 4
+
+    def test_empty_dataset_matrix(self):
+        X = Dataset().feature_matrix()
+        assert X.shape == (0, 7)
+
+
+class TestSummary:
+    def test_summary_counts(self, small_dataset):
+        summary = small_dataset.summary()
+        assert summary["displacement"]["total"] == 2
+        assert summary["displacement"]["BA"] == 1
+        assert summary["blockage"]["BA"] == 1
+        assert summary["interference"]["RA"] == 1
+        assert summary["overall"]["total"] == 4
+
+    def test_position_count_dedupes(self, small_dataset):
+        # All synthetic entries share (room='synthetic', position='p0').
+        assert small_dataset.position_count() == 1
+
+
+class TestNaHandling:
+    def test_na_entries_relabel_as_na(self):
+        entry = make_entry([300], [300, 450], 1, Action.NA, kind=ImpairmentKind.NONE)
+        assert entry.relabel(GroundTruthConfig()) is Action.NA
+
+    def test_without_na_strips(self):
+        ds = Dataset()
+        ds.append(make_entry([300], [300], 0, Action.NA, kind=ImpairmentKind.NONE))
+        ds.append(make_entry([300], [300], 0, Action.RA))
+        assert len(ds.without_na()) == 1
+
+
+class TestRelabel:
+    def test_relabel_matches_fresh_ground_truth(self, main_dataset):
+        config = GroundTruthConfig()
+        for entry in main_dataset.entries[:50]:
+            assert entry.relabel(config) is entry.label
+
+    def test_alpha_changes_some_labels(self, main_dataset):
+        throughput_labels = main_dataset.labels()
+        delay_labels = main_dataset.labels(
+            GroundTruthConfig(alpha=0.0, ba_overhead_s=250e-3)
+        )
+        assert (throughput_labels != delay_labels).any()

@@ -1,0 +1,88 @@
+"""Dataset persistence round-trip tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.ground_truth import Action
+from repro.dataset.entry import Dataset, ImpairmentKind
+from repro.dataset.io import load_dataset, save_dataset
+from tests.conftest import make_entry
+
+
+@pytest.fixture
+def dataset() -> Dataset:
+    ds = Dataset(name="io-test")
+    ds.append(make_entry([300, 450], [300, 450, 865], 2, Action.BA))
+    ds.append(
+        make_entry([300], [300], 0, Action.RA, kind=ImpairmentKind.INTERFERENCE)
+    )
+    return ds
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.name == "io-test"
+        assert len(loaded) == len(dataset)
+        for original, again in zip(dataset, loaded):
+            assert again.kind is original.kind
+            assert again.label is original.label
+            assert again.initial_mcs == original.initial_mcs
+            assert again.features == original.features
+            assert np.allclose(
+                again.traces_same_pair.throughput_mbps,
+                original.traces_same_pair.throughput_mbps,
+            )
+            assert np.allclose(
+                again.traces_best_pair.cdr, original.traces_best_pair.cdr
+            )
+
+    def test_real_dataset_round_trip(self, main_dataset, tmp_path):
+        path = tmp_path / "main.jsonl"
+        save_dataset(main_dataset, path)
+        loaded = load_dataset(path)
+        assert (loaded.labels() == main_dataset.labels()).all()
+        assert np.allclose(loaded.feature_matrix(), main_dataset.feature_matrix())
+
+    def test_relabel_survives_round_trip(self, dataset, tmp_path):
+        from repro.core.ground_truth import GroundTruthConfig
+
+        path = tmp_path / "ds.jsonl"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        config = GroundTruthConfig(alpha=0.5, ba_overhead_s=150e-3)
+        assert (loaded.labels(config) == dataset.labels(config)).all()
+
+
+class TestFormat:
+    def test_header_line(self, dataset, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        save_dataset(dataset, path)
+        with path.open() as fh:
+            header = json.loads(fh.readline())
+        assert header["version"] == 1
+        assert header["entries"] == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_dataset(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"version": 99, "entries": 0}) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)
+
+    def test_truncated_file_detected(self, dataset, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        save_dataset(dataset, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="truncated"):
+            load_dataset(path)

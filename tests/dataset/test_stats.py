@@ -1,0 +1,97 @@
+"""Dataset-statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.ground_truth import Action
+from repro.dataset.entry import Dataset, ImpairmentKind
+from repro.dataset.stats import (
+    ClassSummary,
+    feature_class_summaries,
+    initial_mcs_histogram,
+    label_consistency,
+    per_detail_summary,
+    per_room_summary,
+)
+from tests.conftest import make_entry
+
+
+class TestPerRoom:
+    def test_counts_per_room(self, main_dataset):
+        rooms = per_room_summary(main_dataset)
+        assert len(rooms) == 6
+        assert sum(row["total"] for row in rooms.values()) == len(
+            main_dataset.without_na()
+        )
+        for row in rooms.values():
+            assert row["BA"] + row["RA"] == row["total"]
+
+    def test_na_entries_excluded(self, main_dataset_with_na):
+        with_na = per_room_summary(main_dataset_with_na)
+        without = per_room_summary(main_dataset_with_na.without_na())
+        assert with_na == without
+
+
+class TestPerDetail:
+    def test_interference_levels_split(self, main_dataset):
+        details = per_detail_summary(main_dataset, ImpairmentKind.INTERFERENCE)
+        assert set(details) == {"intf-low", "intf-medium", "intf-high"}
+        assert all(row["total"] == 36 for row in details.values())
+
+    def test_blockage_spots_split(self, main_dataset):
+        details = per_detail_summary(main_dataset, ImpairmentKind.BLOCKAGE)
+        assert len(details) == 3  # near-Tx / middle / near-Rx
+
+
+class TestFeatureSummaries:
+    def test_one_summary_per_feature(self, main_dataset):
+        summaries = feature_class_summaries(main_dataset)
+        assert len(summaries) == 7
+        for summary in summaries:
+            assert summary.ba_iqr[0] <= summary.ba_iqr[1]
+            assert summary.ra_iqr[0] <= summary.ra_iqr[1]
+
+    def test_snr_diff_separates_classes_somewhat(self, main_dataset):
+        summaries = {s.feature: s for s in feature_class_summaries(main_dataset)}
+        assert summaries["snr_diff_db"].ba_median > summaries["snr_diff_db"].ra_median
+
+    def test_separation_score(self):
+        summary = ClassSummary("x", 10.0, 0.0, (8.0, 12.0), (-2.0, 2.0))
+        assert summary.separation() == pytest.approx(2.5)
+        flat = ClassSummary("x", 1.0, 1.0, (1.0, 1.0), (1.0, 1.0))
+        assert flat.separation() == 0.0
+
+    def test_single_class_rejected(self):
+        ds = Dataset()
+        ds.append(make_entry([300], [300], 0, Action.RA))
+        with pytest.raises(ValueError):
+            feature_class_summaries(ds)
+
+
+class TestMcsHistogram:
+    def test_histogram_totals(self, main_dataset):
+        histogram = initial_mcs_histogram(main_dataset)
+        assert histogram.sum() == len(main_dataset.without_na())
+        assert histogram.shape == (9,)
+
+    def test_spread_over_the_ladder(self, main_dataset):
+        """Fig. 9 needs variance in the initial MCS: more than two rungs
+        must be populated."""
+        histogram = initial_mcs_histogram(main_dataset)
+        assert np.count_nonzero(histogram) >= 3
+
+
+class TestLabelConsistency:
+    def test_mostly_consistent(self, main_dataset):
+        value = label_consistency(main_dataset)
+        assert 0.8 <= value <= 1.0
+
+    def test_fully_consistent_synthetic(self):
+        ds = Dataset()
+        ds.append(make_entry([300], [300], 0, Action.RA))
+        ds.append(make_entry([300], [300], 0, Action.RA))
+        assert label_consistency(ds) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            label_consistency(Dataset())

@@ -1,0 +1,131 @@
+"""Trajectory generator tests."""
+
+import math
+
+import pytest
+
+from repro.env.geometry import Point
+from repro.env.trajectories import (
+    Trajectory,
+    pace_across,
+    periodic_blockage_events,
+    rotate_in_place,
+    trajectory_events,
+    walk_away,
+)
+
+
+class TestWalkAway:
+    def test_radial_walk(self):
+        walk = walk_away(Point(4.0, 6.0), toward_deg=0.0, speed_m_s=1.0, duration_s=10.0)
+        pose = walk.pose_at(5.0)
+        assert pose.position.x == pytest.approx(9.0)
+        assert pose.position.y == pytest.approx(6.0)
+        assert pose.orientation_deg == pytest.approx(180.0)  # faces back
+
+    def test_lateral_drift(self):
+        walk = walk_away(
+            Point(0.0, 0.0), 0.0, 1.0, 10.0, lateral_drift_m_s=0.5
+        )
+        pose = walk.pose_at(4.0)
+        assert pose.position.x == pytest.approx(4.0)
+        assert pose.position.y == pytest.approx(2.0)
+
+    def test_explicit_facing(self):
+        walk = walk_away(Point(0, 0), 90.0, 1.0, 5.0, facing=45.0)
+        assert walk.pose_at(1.0).orientation_deg == 45.0
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            walk_away(Point(0, 0), 0.0, -1.0, 5.0)
+
+
+class TestRotateInPlace:
+    def test_angle_advances(self):
+        spin = rotate_in_place(Point(3, 3), start_deg=180.0, rate_deg_s=30.0, duration_s=6.0)
+        assert spin.pose_at(0.0).orientation_deg == 180.0
+        assert spin.pose_at(3.0).orientation_deg == pytest.approx(270.0)
+        assert spin.pose_at(3.0).position == Point(3, 3)
+
+
+class TestPaceAcross:
+    def test_triangle_wave_motion(self):
+        pace = pace_across(Point(0, 0), Point(4, 0), period_s=4.0, duration_s=12.0,
+                           orientation_deg=0.0)
+        assert pace.pose_at(0.0).position.x == pytest.approx(0.0)
+        assert pace.pose_at(1.0).position.x == pytest.approx(2.0)
+        assert pace.pose_at(2.0).position.x == pytest.approx(4.0)
+        assert pace.pose_at(3.0).position.x == pytest.approx(2.0)
+        assert pace.pose_at(4.0).position.x == pytest.approx(0.0)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            pace_across(Point(0, 0), Point(1, 0), 0.0, 5.0, 0.0)
+
+
+class TestSampling:
+    def test_sample_count_and_spacing(self):
+        walk = walk_away(Point(0, 0), 0.0, 1.0, 1.0)
+        samples = list(walk.sample(0.25))
+        assert len(samples) == 4
+        times = [t for t, _pose in samples]
+        assert times == pytest.approx([0.0, 0.25, 0.5, 0.75])
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(lambda t: None, 0.0)
+        walk = walk_away(Point(0, 0), 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            list(walk.sample(0.0))
+
+
+class TestEventConversion:
+    def test_trajectory_events_skip_time_zero(self):
+        walk = walk_away(Point(0, 0), 0.0, 1.0, 1.0)
+        events = trajectory_events(walk, update_period_s=0.25)
+        assert len(events) == 3
+        assert all(event.at_s > 0 for event in events)
+        assert events[0].rx is not None
+
+    def test_periodic_blockage_alternates(self):
+        events = periodic_blockage_events(
+            Point(5, 5), 0.0, period_s=2.0, block_fraction=0.25, duration_s=8.0
+        )
+        arrivals = [e for e in events if e.blockers is not None]
+        departures = [e for e in events if e.clear_blockers]
+        assert len(arrivals) == 4
+        # The final departure would land exactly at the session end and is
+        # dropped, so one fewer departure than arrival.
+        assert len(departures) == 3
+        # Each departure follows its arrival by period * fraction.
+        for arrive, depart in zip(arrivals, departures):
+            assert depart.at_s - arrive.at_s == pytest.approx(0.5)
+
+    def test_periodic_blockage_validation(self):
+        with pytest.raises(ValueError):
+            periodic_blockage_events(Point(0, 0), 0.0, 2.0, 1.5, 8.0)
+        with pytest.raises(ValueError):
+            periodic_blockage_events(Point(0, 0), 0.0, 0.0, 0.5, 8.0)
+
+
+class TestLiveIntegration:
+    def test_walk_drives_a_live_session(self, trained_forest):
+        """A trajectory script moves the Rx during a closed-loop session."""
+        from repro.core.libra import LiBRA
+        from repro.env.placement import RadioPose
+        from repro.env.rooms import make_lobby
+        from repro.sim.live import LiveSession
+        from repro.testbed.x60 import X60Link
+
+        room = make_lobby()
+        link = X60Link(room, RadioPose(Point(2.0, 6.0), 0.0))
+        walk = walk_away(Point(6.0, 6.0), 0.0, speed_m_s=4.0, duration_s=1.0)
+        session = LiveSession(
+            link, LiBRA(trained_forest), walk.pose_at(0.0), seed=0
+        )
+        log = session.run(1.0, trajectory_events(walk, 0.2))
+        assert log.bytes_delivered > 0
+        # The Rx ends 4 m further out: median MCS cannot increase.
+        head = [m for t, m in zip(log.frame_times_s, log.mcs) if t < 0.2]
+        tail = [m for t, m in zip(log.frame_times_s, log.mcs) if t > 0.8]
+        assert sorted(tail)[len(tail) // 2] <= sorted(head)[len(head) // 2]

@@ -1,0 +1,62 @@
+"""Block-ACK signalling tests."""
+
+import numpy as np
+import pytest
+
+from repro.mac.ack import BlockAck, ack_received, make_block_ack, no_ack_probability
+from repro.mac.framing import AD_FRAME, FrameConfig, X60_FRAME
+
+
+class TestNoAckProbability:
+    def test_good_link_always_acks(self):
+        assert no_ack_probability(30.0, 5, X60_FRAME) == 0.0
+
+    def test_dead_link_never_acks(self):
+        assert no_ack_probability(-15.0, 8, X60_FRAME) == pytest.approx(1.0)
+
+    def test_aggregation_makes_acks_robust(self):
+        """Even at CDR = 0.1 a 9200-codeword frame virtually always gets
+        one codeword through — the missing ACK is a near-binary signal."""
+        snr_low = 21.0  # 1 dB under MCS 8's threshold: CER ≈ 0.98
+        single = FrameConfig(2e-3, slots=1, codewords_per_slot=1)
+        assert no_ack_probability(snr_low, 8, X60_FRAME) < 1e-6
+        assert no_ack_probability(snr_low, 8, single) > 0.9
+
+    def test_monotone_in_snr(self):
+        probs = [no_ack_probability(s, 8, AD_FRAME) for s in range(-10, 30, 2)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+
+class TestAckReceived:
+    def test_deterministic_mode(self):
+        assert ack_received(30.0, 5, X60_FRAME)
+        assert not ack_received(-15.0, 8, X60_FRAME)
+
+    def test_sampled_mode_matches_probability(self):
+        rng = np.random.default_rng(0)
+        single = FrameConfig(2e-3, slots=1, codewords_per_slot=1)
+        snr = 12.0  # mid-waterfall for MCS 4 (threshold 12): CER 0.5
+        outcomes = [ack_received(snr, 4, single, rng) for _ in range(4000)]
+        assert np.mean(outcomes) == pytest.approx(0.5, abs=0.05)
+
+
+class TestMakeBlockAck:
+    def test_ack_carries_cdr(self):
+        ack = make_block_ack(7, 30.0, 5, X60_FRAME, metrics={"snr": 30.0})
+        assert isinstance(ack, BlockAck)
+        assert ack.frame_id == 7
+        assert ack.cdr == pytest.approx(1.0, abs=1e-3)
+        assert ack.metrics == {"snr": 30.0}
+
+    def test_missing_ack_is_none(self):
+        assert make_block_ack(0, -15.0, 8, X60_FRAME) is None
+
+    def test_sampled_delivery_counts(self):
+        rng = np.random.default_rng(1)
+        ack = make_block_ack(0, 15.0, 4, X60_FRAME, rng=rng)  # 3 dB margin
+        assert ack is not None
+        assert 0 < ack.delivered_codewords <= ack.total_codewords
+
+    def test_empty_cdr_guard(self):
+        ack = BlockAck(0, 0, 0)
+        assert ack.cdr == 0.0

@@ -1,0 +1,52 @@
+"""TDMA framing tests."""
+
+import pytest
+
+from repro.constants import X60_CODEWORDS_PER_FRAME
+from repro.mac.framing import AD_FRAME, FrameConfig, X60_FRAME, frames_in
+
+
+class TestX60Frame:
+    def test_paper_layout(self):
+        assert X60_FRAME.duration_s == 10e-3
+        assert X60_FRAME.slots == 100
+        assert X60_FRAME.codewords_per_slot == 92
+        assert X60_FRAME.codewords == X60_CODEWORDS_PER_FRAME == 9200
+
+    def test_ad_frame_scales_proportionally(self):
+        assert AD_FRAME.duration_s == 2e-3
+        assert AD_FRAME.slots == 20
+        assert AD_FRAME.codewords == 1840
+
+
+class TestFrameConfig:
+    def test_rejects_bad_durations(self):
+        with pytest.raises(ValueError):
+            FrameConfig(0.0)
+        with pytest.raises(ValueError):
+            FrameConfig(1e-3, slots=0)
+        with pytest.raises(ValueError):
+            FrameConfig(1e-3, codewords_per_slot=0)
+
+    def test_with_duration_keeps_at_least_one_slot(self):
+        tiny = X60_FRAME.with_duration(1e-5)
+        assert tiny.slots == 1
+
+    def test_with_duration_round_trip(self):
+        assert X60_FRAME.with_duration(10e-3).slots == X60_FRAME.slots
+
+
+class TestFramesIn:
+    def test_whole_frames(self):
+        assert frames_in(1.0, X60_FRAME) == 100
+        assert frames_in(1.0, AD_FRAME) == 500
+
+    def test_floor_semantics(self):
+        assert frames_in(0.019, X60_FRAME) == 1
+
+    def test_zero_duration(self):
+        assert frames_in(0.0, X60_FRAME) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            frames_in(-1.0, X60_FRAME)

@@ -1,0 +1,64 @@
+"""802.11ad SLS protocol-timing tests."""
+
+import pytest
+
+from repro.mac.sls import (
+    SlsExchange,
+    cots_sweep_duration_s,
+    exhaustive_sweep_duration_s,
+    ssw_frame_airtime_us,
+    standard_sls_duration_s,
+)
+
+
+class TestSswFrame:
+    def test_airtime_matches_control_phy(self):
+        # 26 bytes at 27.5 Mbps ≈ 7.6 µs + ~9.3 µs preamble ≈ 16-17 µs.
+        assert 14.0 < ssw_frame_airtime_us() < 20.0
+
+
+class TestExchangeDurations:
+    def test_cots_sweep_is_sub_millisecond(self):
+        """Today's devices (a few tens of sectors, Tx-only): the paper's
+        0.5 ms operating point."""
+        assert 0.2e-3 < cots_sweep_duration_s(32) < 1.5e-3
+
+    def test_narrow_beam_sweep_reaches_milliseconds(self):
+        """3° beams → ~10x the sectors → the paper's 5 ms point."""
+        duration = cots_sweep_duration_s(320)
+        assert 3e-3 < duration < 10e-3
+
+    def test_standard_sls_adds_responder_sweep(self):
+        one_sided = standard_sls_duration_s(32, 0)
+        two_sided = standard_sls_duration_s(32, 32)
+        assert two_sided > 1.8 * one_sided
+
+    def test_exhaustive_sweep_reaches_paper_values(self):
+        """25 x 25 pairs at sub-millisecond dwells: the 150-250 ms regime
+        of research platforms with directional reception."""
+        low = exhaustive_sweep_duration_s(25, 25, per_pair_dwell_s=0.25e-3)
+        high = exhaustive_sweep_duration_s(25, 25, per_pair_dwell_s=0.4e-3)
+        assert 0.1 < low < 0.2
+        assert 0.2 < high < 0.3
+
+    def test_feedback_tail_optional(self):
+        with_feedback = SlsExchange(16, feedback=True).duration_s()
+        without = SlsExchange(16, feedback=False).duration_s()
+        assert with_feedback > without
+
+    def test_duration_linear_in_sectors(self):
+        small = SlsExchange(10, feedback=False).duration_s()
+        large = SlsExchange(20, feedback=False).duration_s()
+        assert large == pytest.approx(2 * small, rel=0.05)
+
+
+class TestValidation:
+    def test_bad_sector_counts_rejected(self):
+        with pytest.raises(ValueError):
+            SlsExchange(0)
+        with pytest.raises(ValueError):
+            SlsExchange(4, responder_sectors=-1)
+        with pytest.raises(ValueError):
+            exhaustive_sweep_duration_s(0, 4)
+        with pytest.raises(ValueError):
+            exhaustive_sweep_duration_s(4, 4, per_pair_dwell_s=0.0)

@@ -1,0 +1,51 @@
+"""Throughput accounting tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mac.framing import X60_FRAME
+from repro.mac.throughput import (
+    bytes_delivered,
+    frame_payload_bytes,
+    throughput_from_bytes,
+)
+from repro.phy.error_model import phy_rate_mbps
+
+
+class TestFramePayload:
+    def test_top_mcs_full_frame(self):
+        # 4750 Mbps over 10 ms = 5.9375 MB.
+        assert frame_payload_bytes(8, X60_FRAME) == pytest.approx(5_937_500.0)
+
+    def test_scales_with_rate(self):
+        assert frame_payload_bytes(8, X60_FRAME) / frame_payload_bytes(
+            0, X60_FRAME
+        ) == pytest.approx(phy_rate_mbps(8) / phy_rate_mbps(0))
+
+
+class TestBytesDelivered:
+    def test_perfect_link_one_second(self):
+        assert bytes_delivered(40.0, 8, 1.0) == pytest.approx(4750e6 / 8.0)
+
+    def test_dead_link_zero(self):
+        assert bytes_delivered(-15.0, 8, 1.0) == pytest.approx(0.0, abs=1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_delivered(20.0, 5, -0.1)
+
+    @given(st.floats(min_value=0.0, max_value=10.0))
+    def test_linear_in_duration(self, duration):
+        assert bytes_delivered(20.0, 5, 2 * duration) == pytest.approx(
+            2 * bytes_delivered(20.0, 5, duration)
+        )
+
+
+class TestThroughputFromBytes:
+    def test_round_trip(self):
+        delivered = bytes_delivered(40.0, 8, 2.0)
+        assert throughput_from_bytes(delivered, 2.0) == pytest.approx(4750.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_from_bytes(100.0, 0.0)

@@ -1,0 +1,74 @@
+"""Classification-metric tests against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy_score, confusion_matrix, f1_score_weighted
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score(["a", "b", "a", "b"], ["a", "a", "a", "a"]) == 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score(["a"], ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_hand_computed(self):
+        y_true = ["BA", "BA", "RA", "RA", "RA"]
+        y_pred = ["BA", "RA", "RA", "RA", "BA"]
+        matrix, labels = confusion_matrix(y_true, y_pred)
+        assert list(labels) == ["BA", "RA"]
+        assert matrix[0, 0] == 1  # BA → BA
+        assert matrix[0, 1] == 1  # BA → RA
+        assert matrix[1, 0] == 1  # RA → BA
+        assert matrix[1, 1] == 2  # RA → RA
+        assert matrix.sum() == 5
+
+    def test_explicit_label_order(self):
+        matrix, labels = confusion_matrix(["a"], ["a"], labels=["b", "a"])
+        assert list(labels) == ["b", "a"]
+        assert matrix[1, 1] == 1
+
+    def test_unseen_predicted_class_included(self):
+        matrix, labels = confusion_matrix(["a", "a"], ["a", "c"])
+        assert "c" in list(labels)
+
+
+class TestWeightedF1:
+    def test_perfect(self):
+        assert f1_score_weighted(["a", "b", "b"], ["a", "b", "b"]) == 1.0
+
+    def test_hand_computed_binary(self):
+        # true: [P P P N], pred: [P P N N]
+        # P: precision 1.0, recall 2/3, F1 = 0.8, support 3
+        # N: precision 0.5, recall 1.0, F1 = 2/3, support 1
+        # weighted: (0.8*3 + 2/3*1)/4 = 0.7666...
+        value = f1_score_weighted(["P", "P", "P", "N"], ["P", "P", "N", "N"])
+        assert value == pytest.approx((0.8 * 3 + (2 / 3)) / 4)
+
+    def test_all_wrong_is_zero(self):
+        assert f1_score_weighted(["a", "a"], ["b", "b"]) == 0.0
+
+    def test_imbalanced_weighting(self):
+        # The dominant class's F1 dominates the weighted score.
+        y_true = ["maj"] * 9 + ["min"]
+        y_pred = ["maj"] * 10
+        value = f1_score_weighted(y_true, y_pred)
+        # maj: P=0.9, R=1.0, F1≈0.947, weight 0.9; min: F1=0, weight 0.1.
+        assert value == pytest.approx(0.9 * (2 * 0.9 / 1.9), rel=1e-6)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.choice(["x", "y", "z"], 100)
+        y_pred = rng.choice(["x", "y", "z"], 100)
+        assert 0.0 <= f1_score_weighted(y_true, y_pred) <= 1.0

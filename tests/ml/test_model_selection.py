@@ -1,0 +1,92 @@
+"""Cross-validation machinery tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import (
+    StratifiedKFold,
+    cross_validate,
+    repeated_cross_validate,
+    train_test_evaluate,
+)
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def imbalanced_data(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = np.where(rng.random(n) < 0.75, "major", "minor")
+    X[y == "minor"] += 3.0
+    return X, y
+
+
+class TestStratifiedKFold:
+    def test_partitions_everything_exactly_once(self):
+        X, y = imbalanced_data()
+        folds = list(StratifiedKFold(5, random_state=0).split(X, y))
+        assert len(folds) == 5
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test) == list(range(len(y)))
+
+    def test_train_test_disjoint(self):
+        X, y = imbalanced_data()
+        for train, test in StratifiedKFold(4, random_state=1).split(X, y):
+            assert not set(train) & set(test)
+            assert len(train) + len(test) == len(y)
+
+    def test_class_proportions_preserved(self):
+        X, y = imbalanced_data(200)
+        overall = np.mean(y == "minor")
+        for _, test in StratifiedKFold(5, random_state=2).split(X, y):
+            fold_fraction = np.mean(y[test] == "minor")
+            assert fold_fraction == pytest.approx(overall, abs=0.08)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            list(StratifiedKFold(5).split(np.zeros((3, 1)), np.array(["a"] * 3)))
+
+    def test_bad_splits_rejected(self):
+        with pytest.raises(ValueError):
+            StratifiedKFold(1)
+
+    def test_no_shuffle_is_deterministic(self):
+        X, y = imbalanced_data()
+        a = list(StratifiedKFold(3, shuffle=False).split(X, y))
+        b = list(StratifiedKFold(3, shuffle=False).split(X, y))
+        for (tr_a, te_a), (tr_b, te_b) in zip(a, b):
+            assert (tr_a == tr_b).all() and (te_a == te_b).all()
+
+
+class TestCrossValidate:
+    def test_fold_counts_and_ranges(self):
+        X, y = imbalanced_data(150)
+        result = cross_validate(
+            lambda: DecisionTreeClassifier(max_depth=4), X, y, 5, random_state=0
+        )
+        assert len(result.accuracies) == 5
+        assert (0.0 <= result.accuracies).all() and (result.accuracies <= 1.0).all()
+        assert result.mean_accuracy > 0.85  # well-separated blobs
+
+    def test_repeated_pools_folds(self):
+        X, y = imbalanced_data(120)
+        result = repeated_cross_validate(
+            lambda: DecisionTreeClassifier(max_depth=4), X, y,
+            n_splits=4, repeats=3, random_state=0,
+        )
+        assert len(result.accuracies) == 12
+
+    def test_str_is_readable(self):
+        X, y = imbalanced_data(120)
+        result = cross_validate(lambda: DecisionTreeClassifier(), X, y, 4)
+        assert "accuracy" in str(result)
+
+
+class TestTrainTestEvaluate:
+    def test_returns_accuracy_and_f1(self):
+        X_train, y_train = imbalanced_data(200, seed=1)
+        X_test, y_test = imbalanced_data(100, seed=2)
+        acc, f1 = train_test_evaluate(
+            DecisionTreeClassifier(max_depth=4), X_train, y_train, X_test, y_test
+        )
+        assert 0.8 < acc <= 1.0
+        assert 0.8 < f1 <= 1.0

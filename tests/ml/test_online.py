@@ -1,0 +1,90 @@
+"""Online-forest tests (the §7 deployment extension)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.online import OnlineForest
+
+
+def blobs(center_a, center_b, n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([
+        np.asarray(center_a) + rng.normal(0, 0.4, (n, 2)),
+        np.asarray(center_b) + rng.normal(0, 0.4, (n, 2)),
+    ])
+    y = np.array(["BA"] * n + ["RA"] * n)
+    return X, y
+
+
+class TestConstruction:
+    def test_fits_immediately_on_base_data(self):
+        X, y = blobs([0, 0], [3, 3])
+        model = OnlineForest(X, y, n_estimators=10)
+        assert np.mean(model.predict(X) == y) > 0.95
+        assert model.refits == 0
+
+    def test_invalid_parameters_rejected(self):
+        X, y = blobs([0, 0], [3, 3], n=10)
+        with pytest.raises(ValueError):
+            OnlineForest(X, y, buffer_size=0)
+        with pytest.raises(ValueError):
+            OnlineForest(X, y, refit_every=0)
+
+
+class TestObservation:
+    def test_refit_fires_on_quota(self):
+        X, y = blobs([0, 0], [3, 3], n=30)
+        model = OnlineForest(X, y, refit_every=10, n_estimators=8)
+        for i in range(9):
+            model.observe(X[i], y[i])
+        assert model.refits == 0
+        model.observe(X[9], y[9])
+        assert model.refits == 1
+
+    def test_buffer_is_bounded(self):
+        X, y = blobs([0, 0], [3, 3], n=30)
+        model = OnlineForest(X, y, buffer_size=15, refit_every=100, n_estimators=8)
+        for i in range(40):
+            model.observe(X[i % len(X)], y[i % len(X)])
+        assert model.buffer_fill() == 15
+
+    def test_wrong_feature_count_rejected(self):
+        X, y = blobs([0, 0], [3, 3], n=10)
+        model = OnlineForest(X, y, n_estimators=5)
+        with pytest.raises(ValueError):
+            model.observe(np.zeros(5), "BA")
+
+
+class TestAdaptation:
+    def test_adapts_to_a_shifted_environment(self):
+        """The cross-building story: trained in one building, deployed in
+        another where the class boundary moved.  Online observations must
+        recover most of the lost accuracy."""
+        X_old, y_old = blobs([0, 0], [3, 3], n=80, seed=0)
+        # New environment: the classes swapped quadrants.
+        X_new, y_new = blobs([3, 0], [0, 3], n=80, seed=1)
+
+        offline = OnlineForest(X_old, y_old, n_estimators=20, refit_every=10_000)
+        before = np.mean(offline.predict(X_new) == y_new)
+
+        online = OnlineForest(
+            X_old, y_old, n_estimators=20, refit_every=20, buffer_size=200
+        )
+        rng = np.random.default_rng(2)
+        for i in rng.permutation(len(y_new))[:120]:
+            online.observe(X_new[i], y_new[i])
+        after = np.mean(online.predict(X_new) == y_new)
+        assert online.refits >= 5
+        assert after > before + 0.15
+
+    def test_base_data_is_never_forgotten(self):
+        """A burst of observations must not wipe performance on the
+        offline distribution (the base set always stays in the fit)."""
+        X_old, y_old = blobs([0, 0], [3, 3], n=80, seed=0)
+        model = OnlineForest(
+            X_old, y_old, n_estimators=20, refit_every=20, buffer_size=60
+        )
+        X_new, y_new = blobs([0, 3], [3, 0], n=40, seed=3)
+        for i in range(len(y_new)):
+            model.observe(X_new[i], y_new[i])
+        assert np.mean(model.predict(X_old) == y_old) > 0.8

@@ -1,0 +1,105 @@
+"""SNR → CDR error-model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import (
+    WORKING_MCS_MIN_THROUGHPUT_MBPS,
+    X60_MCS_SNR_THRESHOLDS_DB,
+    X60_MCS_TABLE,
+    X60_NUM_MCS,
+)
+from repro.phy.error_model import (
+    best_throughput_mcs,
+    codeword_delivery_ratio,
+    codeword_error_rate,
+    highest_working_mcs,
+    is_working_mcs,
+    phy_rate_mbps,
+    throughput_mbps,
+)
+
+snr_values = st.floats(min_value=-20.0, max_value=40.0, allow_nan=False)
+mcs_values = st.integers(min_value=0, max_value=X60_NUM_MCS - 1)
+
+
+class TestCodewordErrorRate:
+    def test_half_at_threshold(self):
+        for mcs in range(X60_NUM_MCS):
+            assert codeword_error_rate(
+                X60_MCS_SNR_THRESHOLDS_DB[mcs], mcs
+            ) == pytest.approx(0.5)
+
+    def test_saturates_far_from_threshold(self):
+        assert codeword_error_rate(40.0, 0) == pytest.approx(0.0, abs=1e-6)
+        assert codeword_error_rate(-20.0, 8) == pytest.approx(1.0, abs=1e-6)
+
+    @given(snr_values, mcs_values)
+    def test_cer_cdr_complementary(self, snr, mcs):
+        assert codeword_error_rate(snr, mcs) + codeword_delivery_ratio(
+            snr, mcs
+        ) == pytest.approx(1.0)
+
+    @given(mcs_values)
+    def test_cer_monotone_decreasing_in_snr(self, mcs):
+        values = [codeword_error_rate(snr, mcs) for snr in range(-10, 35, 2)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    @given(snr_values)
+    def test_cer_monotone_increasing_in_mcs(self, snr):
+        values = [codeword_error_rate(snr, m) for m in range(X60_NUM_MCS)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_invalid_mcs_rejected(self):
+        with pytest.raises(ValueError):
+            codeword_error_rate(10.0, 9)
+        with pytest.raises(ValueError):
+            codeword_error_rate(10.0, -1)
+
+
+class TestThroughput:
+    def test_phy_rates_match_table(self):
+        for row in X60_MCS_TABLE:
+            assert phy_rate_mbps(row[0]) == row[3]
+
+    def test_throughput_at_high_snr_is_phy_rate(self):
+        assert throughput_mbps(40.0, 8) == pytest.approx(4750.0)
+
+    def test_throughput_at_low_snr_is_zero(self):
+        assert throughput_mbps(-10.0, 8) == pytest.approx(0.0, abs=1e-3)
+
+
+class TestWorkingMcs:
+    def test_working_needs_throughput_and_cdr(self):
+        # Just above MCS0 threshold: CDR fine but 300 Mbps * CDR must
+        # clear 150 Mbps.
+        assert is_working_mcs(X60_MCS_SNR_THRESHOLDS_DB[0] + 2.0, 0)
+        assert not is_working_mcs(X60_MCS_SNR_THRESHOLDS_DB[0] - 3.0, 0)
+
+    def test_highest_working_mcs_at_mid_snr(self):
+        # 16 dB clears thresholds up to MCS 5 (15.0) but not MCS 6 (17.0).
+        assert highest_working_mcs(16.0) == 5
+
+    def test_highest_working_respects_cap(self):
+        assert highest_working_mcs(40.0, max_mcs=3) == 3
+
+    def test_dead_link_returns_none(self):
+        assert highest_working_mcs(-15.0) is None
+
+    @given(snr_values)
+    def test_best_throughput_at_least_highest_working(self, snr):
+        mcs, tput = best_throughput_mcs(snr)
+        if mcs is None:
+            assert tput == 0.0
+        else:
+            highest = highest_working_mcs(snr)
+            assert tput >= throughput_mbps(snr, highest) - 1e-9
+            assert tput > WORKING_MCS_MIN_THROUGHPUT_MBPS
+
+    def test_best_throughput_can_undercut_highest_working(self):
+        """Right at a waterfall, a lower MCS at CDR≈1 can beat a higher
+        MCS at partial CDR."""
+        # At MCS 6's threshold (CDR 0.5): 3030*0.5 = 1515 < 2600 at MCS 5.
+        snr = X60_MCS_SNR_THRESHOLDS_DB[6]
+        mcs, _ = best_throughput_mcs(snr)
+        assert mcs == 5

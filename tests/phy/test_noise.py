@@ -1,0 +1,38 @@
+"""Noise model tests."""
+
+import numpy as np
+import pytest
+
+from repro.constants import NOISE_FIGURE_DB, THERMAL_NOISE_DBM
+from repro.phy.noise import NoiseModel, noise_floor_dbm
+
+
+class TestNoiseFloor:
+    def test_thermal_plus_noise_figure(self):
+        assert noise_floor_dbm() == pytest.approx(THERMAL_NOISE_DBM + NOISE_FIGURE_DB)
+
+    def test_two_ghz_thermal_floor_value(self):
+        # -174 dBm/Hz + 10 log10(2e9) ≈ -81 dBm.
+        assert THERMAL_NOISE_DBM == pytest.approx(-81.0, abs=0.2)
+
+
+class TestNoiseModel:
+    def test_true_floor_drifts_around_clean_floor(self):
+        model = NoiseModel(drift_std_db=0.75)
+        rng = np.random.default_rng(0)
+        floors = np.array([model.true_floor_dbm(rng) for _ in range(2000)])
+        assert floors.mean() == pytest.approx(noise_floor_dbm(), abs=0.1)
+        assert floors.std() == pytest.approx(0.75, abs=0.1)
+
+    def test_reported_level_jitters_around_true(self):
+        model = NoiseModel(jitter_std_db=1.5)
+        rng = np.random.default_rng(1)
+        reports = np.array([model.reported_level_dbm(-73.0, rng) for _ in range(2000)])
+        assert reports.mean() == pytest.approx(-73.0, abs=0.15)
+        assert reports.std() == pytest.approx(1.5, abs=0.15)
+
+    def test_zero_noise_model_is_deterministic(self):
+        model = NoiseModel(jitter_std_db=0.0, drift_std_db=0.0)
+        rng = np.random.default_rng(2)
+        assert model.true_floor_dbm(rng) == noise_floor_dbm()
+        assert model.reported_level_dbm(-73.0, rng) == -73.0

@@ -1,0 +1,130 @@
+"""PDP / CSI-proxy tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.channel import Ray
+from repro.phy.pdp import (
+    PDP_NUM_BINS,
+    align_to_strongest_tap,
+    csi_similarity,
+    fft_pdp,
+    pdp_similarity,
+    pearson_similarity,
+    power_delay_profile,
+)
+
+
+def ray_at(delay_ns: float, loss_db: float = 80.0) -> Ray:
+    length = delay_ns * 0.299792458
+    return Ray(0.0, 180.0, length, loss_db, order=0)
+
+
+class TestProfileConstruction:
+    def test_normalised_to_unit_power(self):
+        rays = [ray_at(10.0), ray_at(30.0, 90.0)]
+        profile = power_delay_profile(rays, [-50.0, -60.0])
+        assert profile.sum() == pytest.approx(1.0)
+        assert profile.shape == (PDP_NUM_BINS,)
+
+    def test_empty_channel_gives_zero_profile(self):
+        profile = power_delay_profile([], [])
+        assert profile.sum() == 0.0
+
+    def test_strongest_ray_dominates_first_bins(self):
+        rays = [ray_at(10.0), ray_at(50.0, 95.0)]
+        profile = power_delay_profile(rays, [-40.0, -70.0])
+        assert np.argmax(profile) < 5  # excess delay of strongest ≈ 0
+
+    def test_excess_delay_spacing(self):
+        rays = [ray_at(10.0), ray_at(42.0)]
+        profile = power_delay_profile(rays, [-50.0, -50.0])
+        peaks = np.sort(np.argsort(profile)[-2:])
+        assert peaks[1] - peaks[0] == pytest.approx(32, abs=2)
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            power_delay_profile([ray_at(10.0)], [])
+
+    def test_late_rays_outside_window_ignored(self):
+        rays = [ray_at(10.0), ray_at(10.0 + 2 * PDP_NUM_BINS)]
+        profile = power_delay_profile(rays, [-50.0, -50.0])
+        assert profile.sum() == pytest.approx(1.0)
+
+
+class TestAlignment:
+    def test_alignment_moves_peak_to_zero(self):
+        profile = np.zeros(64)
+        profile[17] = 1.0
+        assert np.argmax(align_to_strongest_tap(profile)) == 0
+
+    def test_alignment_of_flat_profile_is_noop(self):
+        flat = np.zeros(16)
+        assert (align_to_strongest_tap(flat) == flat).all()
+
+
+class TestPearson:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0, 1.0])
+        assert pearson_similarity(v, v) == pytest.approx(1.0)
+
+    def test_anticorrelated(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert pearson_similarity(v, -v) == pytest.approx(-1.0)
+
+    def test_constant_vector_gives_zero(self):
+        assert pearson_similarity(np.ones(8), np.arange(8.0)) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_similarity(np.ones(4), np.ones(5))
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=3, max_size=20))
+    def test_bounded_in_minus_one_one(self, values):
+        rng = np.random.default_rng(0)
+        a = np.array(values)
+        b = rng.normal(size=len(values))
+        result = pearson_similarity(a, b)
+        assert -1.0 - 1e-9 <= result <= 1.0 + 1e-9
+
+
+class TestSimilarities:
+    def test_same_channel_full_similarity(self):
+        rays = [ray_at(10.0), ray_at(25.0, 90.0)]
+        p = power_delay_profile(rays, [-50.0, -62.0])
+        assert pdp_similarity(p, p) == pytest.approx(1.0)
+        assert csi_similarity(p, p) == pytest.approx(1.0)
+
+    def test_pdp_similarity_survives_pure_distance_change(self):
+        """Backward motion shifts all delays but keeps the shape: after
+        strongest-tap alignment the similarity stays high — the §6.1
+        sparsity argument."""
+        near = [ray_at(10.0), ray_at(22.0, 88.0)]
+        far = [ray_at(20.0), ray_at(32.0, 88.0)]
+        p_near = power_delay_profile(near, [-50.0, -58.0])
+        p_far = power_delay_profile(far, [-56.0, -64.0])
+        assert pdp_similarity(p_near, p_far) > 0.9
+
+    def test_blockage_changes_structure(self):
+        """Killing the LOS tap makes the reflection dominant: the aligned
+        profile shape changes and similarity drops."""
+        clear = [ray_at(10.0), ray_at(40.0, 90.0)]
+        p_clear = power_delay_profile(clear, [-45.0, -65.0])
+        blocked = [ray_at(10.0, 110.0), ray_at(40.0, 90.0)]
+        p_blocked = power_delay_profile(blocked, [-75.0, -65.0])
+        assert pdp_similarity(p_clear, p_blocked) < 0.9
+
+    def test_csi_more_sensitive_than_pdp(self):
+        """Small delay shifts barely move aligned-PDP similarity but ripple
+        through the frequency domain (Fig. 6 vs Fig. 7)."""
+        a = [ray_at(10.0), ray_at(24.0, 88.0)]
+        b = [ray_at(10.0), ray_at(29.0, 88.0)]
+        pa = power_delay_profile(a, [-50.0, -58.0])
+        pb = power_delay_profile(b, [-50.0, -58.0])
+        assert csi_similarity(pa, pb) < pdp_similarity(pa, pb)
+
+    def test_fft_pdp_length(self):
+        p = np.zeros(PDP_NUM_BINS)
+        p[0] = 1.0
+        assert len(fft_pdp(p)) == PDP_NUM_BINS // 2 + 1

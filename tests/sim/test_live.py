@@ -1,0 +1,160 @@
+"""Closed-loop LiBRA tests: Algorithm 1 against the live emulated link."""
+
+import numpy as np
+import pytest
+
+from repro.core.ground_truth import Action
+from repro.core.libra import LiBRA
+from repro.core.policies import StaticPolicy
+from repro.env.geometry import Point
+from repro.env.placement import RadioPose
+from repro.env.rooms import make_lobby
+from repro.phy.blockage import HumanBlocker
+from repro.phy.interference import Interferer
+from repro.sim.live import LinkEvent, LiveSession, SessionLog
+from repro.testbed.x60 import X60Link
+
+
+@pytest.fixture(scope="module")
+def libra(trained_forest_with_na):
+    return trained_forest_with_na
+
+
+@pytest.fixture(scope="module")
+def trained_forest_with_na(main_dataset_with_na):
+    from repro.ml.forest import RandomForestClassifier
+
+    model = RandomForestClassifier(n_estimators=40, max_depth=14, random_state=0)
+    model.fit(main_dataset_with_na.feature_matrix(), main_dataset_with_na.labels())
+    return model
+
+
+def make_session(policy, seed=0, ba_overhead_s=5e-3) -> LiveSession:
+    room = make_lobby()
+    link = X60Link(room, RadioPose(Point(2.0, 6.0), 0.0))
+    rx = RadioPose(Point(9.0, 6.0), 180.0)
+    return LiveSession(link, policy, rx, ba_overhead_s=ba_overhead_s, seed=seed)
+
+
+class TestQuietLink:
+    def test_libra_stays_quiet_on_a_static_link(self, trained_forest_with_na):
+        """The whole §3 complaint was spurious adaptation; LiBRA's NA class
+        must keep a clean static link untouched."""
+        session = make_session(LiBRA(trained_forest_with_na))
+        log = session.run(2.0)
+        assert log.actions == []
+        assert log.sweeps == 0
+        assert log.throughput_mbps > 1000.0
+
+    def test_static_policy_equivalent_on_quiet_link(self, trained_forest_with_na):
+        libra_log = make_session(LiBRA(trained_forest_with_na), seed=3).run(1.0)
+        static_log = make_session(StaticPolicy(), seed=3).run(1.0)
+        assert libra_log.throughput_mbps == pytest.approx(
+            static_log.throughput_mbps, rel=0.02
+        )
+
+
+class TestBlockageEvent:
+    def test_libra_sweeps_once_after_blockage(self, trained_forest_with_na):
+        session = make_session(LiBRA(trained_forest_with_na))
+        blocker = HumanBlocker(Point(5.5, 6.0), 0.0, 25.0)
+        log = session.run(2.0, [LinkEvent(at_s=1.0, blockers=(blocker,))])
+        assert log.actions_between(0.0, 1.0) == []
+        reactions = log.actions_between(1.0, 1.5)
+        assert reactions, "LiBRA must react to the blockage"
+        assert reactions[0] is Action.BA
+        # And then settle: no flapping for the rest of the session.
+        assert len(log.actions_between(1.3, 2.0)) <= 1
+
+    def test_blockage_switches_the_beam_pair(self, trained_forest_with_na):
+        session = make_session(LiBRA(trained_forest_with_na))
+        blocker = HumanBlocker(Point(5.5, 6.0), 0.0, 28.0)
+        log = session.run(2.0, [LinkEvent(at_s=1.0, blockers=(blocker,))])
+        before = log.beam_pair_at(0.9)
+        after = log.beam_pair_at(1.9)
+        assert before != after  # the LOS pair died; a reflection took over
+
+
+class TestRotationEvent:
+    def test_rotation_triggers_beam_adaptation(self, trained_forest_with_na):
+        session = make_session(LiBRA(trained_forest_with_na))
+        rotated = RadioPose(Point(9.0, 6.0), 180.0 + 60.0)
+        log = session.run(2.0, [LinkEvent(at_s=1.0, rx=rotated)])
+        reactions = log.actions_between(1.0, 1.5)
+        assert reactions and reactions[0] is Action.BA
+        assert log.beam_pair_at(1.9) != log.beam_pair_at(0.9)
+
+
+class TestInterferenceEvent:
+    def test_mild_interference_prefers_rate_adaptation(self, trained_forest_with_na):
+        """Low-level interference leaves the ACKs flowing, so the
+        classifier sees the features — geometry untouched ⇒ not a sweep."""
+        session = make_session(LiBRA(trained_forest_with_na), seed=1)
+        # A hidden terminal in the link's aisle — the regime the training
+        # campaign covers (near-axis interference is not dodgeable).
+        interferer = Interferer(Point(7.0, 6.3), "low")
+        log = session.run(2.0, [LinkEvent(at_s=1.0, interferer=interferer)])
+        reactions = log.actions_between(1.0, 2.0)
+        assert reactions and reactions[0] is Action.RA
+
+    def test_heavy_interference_hits_the_missing_ack_rule(
+        self, trained_forest_with_na
+    ):
+        """Medium/high interference kills the whole AMPDU: no Block ACK,
+        no features — Algorithm 1's §7 fallback applies.  At MCS ≥ 6 with
+        a cheap sweep that rule says BA first; with an expensive sweep it
+        says RA first."""
+        cheap = make_session(
+            LiBRA(trained_forest_with_na), seed=1, ba_overhead_s=0.5e-3
+        )
+        interferer = Interferer(Point(5.5, 6.4), "medium")
+        log = cheap.run(2.0, [LinkEvent(at_s=1.0, interferer=interferer)])
+        assert log.actions_between(1.0, 1.5)[0] is Action.BA
+
+        expensive = make_session(
+            LiBRA(trained_forest_with_na), seed=1, ba_overhead_s=150e-3
+        )
+        log = expensive.run(2.0, [LinkEvent(at_s=1.0, interferer=interferer)])
+        assert log.actions_between(1.0, 1.5)[0] is Action.RA
+
+    def test_mcs_drops_under_interference(self, trained_forest_with_na):
+        session = make_session(LiBRA(trained_forest_with_na), seed=1)
+        interferer = Interferer(Point(5.5, 6.4), "high")
+        log = session.run(2.0, [LinkEvent(at_s=1.0, interferer=interferer)])
+        before = np.median([m for t, m in zip(log.frame_times_s, log.mcs) if t < 1.0])
+        after = np.median([m for t, m in zip(log.frame_times_s, log.mcs) if t > 1.2])
+        assert after < before
+
+
+class TestRecoveryAndProbing:
+    def test_link_recovers_after_blocker_clears(self, trained_forest_with_na):
+        session = make_session(LiBRA(trained_forest_with_na))
+        blocker = HumanBlocker(Point(5.5, 6.0), 0.0, 25.0)
+        log = session.run(
+            3.0,
+            [
+                LinkEvent(at_s=1.0, blockers=(blocker,)),
+                LinkEvent(at_s=2.0, clear_blockers=True),
+            ],
+        )
+        tail_mcs = [m for t, m in zip(log.frame_times_s, log.mcs) if t > 2.6]
+        blocked_mcs = [m for t, m in zip(log.frame_times_s, log.mcs) if 1.2 < t < 2.0]
+        # A reactive controller keeps the (working) reflection pair after
+        # the blocker clears — nothing degrades, so nothing triggers — but
+        # it must never end up *worse* than during the blockage, and the
+        # link must still be delivering.
+        assert np.median(tail_mcs) >= np.median(blocked_mcs)
+        assert log.throughput_mbps > 1000.0
+
+    def test_session_log_helpers(self):
+        log = SessionLog(duration_s=2.0)
+        log.bytes_delivered = 250e6
+        assert log.throughput_mbps == pytest.approx(1000.0)
+        assert SessionLog().throughput_mbps == 0.0
+
+
+class TestValidation:
+    def test_zero_duration_rejected(self, trained_forest_with_na):
+        session = make_session(LiBRA(trained_forest_with_na))
+        with pytest.raises(ValueError):
+            session.run(0.0)

@@ -1,0 +1,77 @@
+"""Report-generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.report import (
+    grid_report,
+    point_cdf_tables,
+    point_figures,
+    point_headline,
+)
+from repro.sim.sweep import OperatingPoint, PointResult
+
+
+@pytest.fixture
+def result() -> PointResult:
+    rng = np.random.default_rng(0)
+    policies = ("LiBRA", "BA First", "RA First")
+    return PointResult(
+        OperatingPoint(5e-3, 2e-3),
+        {name: np.abs(rng.normal(scale, scale, 50)) for name, scale in
+         zip(policies, (2.0, 5.0, 40.0))},
+        {name: np.abs(rng.normal(scale, scale, 50)) for name, scale in
+         zip(policies, (1.0, 2.0, 10.0))},
+    )
+
+
+class TestHeadline:
+    def test_contains_point_and_policies(self, result):
+        lines = point_headline(result)
+        assert "BA overhead 5 ms" in lines[0]
+        assert any("LiBRA" in line for line in lines)
+        assert any("RA First" in line for line in lines)
+
+    def test_match_fractions_ordered(self, result):
+        assert result.oracle_match_fraction("LiBRA") > result.oracle_match_fraction(
+            "RA First"
+        )
+
+
+class TestTablesAndFigures:
+    def test_cdf_tables_cover_both_metrics(self, result):
+        lines = point_cdf_tables(result)
+        assert any("byte-gap" in line for line in lines)
+        assert any("delay-gap" in line for line in lines)
+        assert sum(1 for line in lines if "LiBRA" in line) == 2
+
+    def test_figures_render(self, result):
+        lines = point_figures(result)
+        assert any("Oracle-Data" in line for line in lines)
+        assert any("|" in line for line in lines)
+
+
+class TestGridReport:
+    def test_single_point_report(self, result):
+        text = grid_report([result])
+        assert text.startswith("LiBRA evaluation grid")
+        assert "summary" in text
+        assert "5 ms/2 ms" in text
+
+    def test_figures_toggle(self, result):
+        plain = grid_report([result])
+        figures = grid_report([result], include_figures=True)
+        assert len(figures) > len(plain)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grid_report([])
+
+    def test_end_to_end_with_real_grid(self, main_dataset_with_na, testing_dataset):
+        from repro.sim.sweep import EvaluationGrid
+
+        grid = EvaluationGrid(main_dataset_with_na, testing_dataset, n_estimators=20)
+        results = grid.run([OperatingPoint(5e-3, 2e-3)])
+        text = grid_report(results, title="smoke")
+        assert "smoke" in text
+        assert "LiBRA" in text

@@ -1,0 +1,77 @@
+"""Evaluation-grid API tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.sweep import (
+    EvaluationGrid,
+    OperatingPoint,
+    default_alpha,
+    paper_grid,
+)
+
+
+class TestOperatingPoint:
+    def test_alpha_defaults_follow_the_paper(self):
+        assert default_alpha(0.5e-3) == 0.7
+        assert default_alpha(5e-3) == 0.7
+        assert default_alpha(150e-3) == 0.5
+        assert OperatingPoint(250e-3, 2e-3).resolved_alpha() == 0.5
+
+    def test_explicit_alpha_wins(self):
+        point = OperatingPoint(250e-3, 2e-3, alpha=0.9)
+        assert point.resolved_alpha() == 0.9
+        assert point.ground_truth_config().alpha == 0.9
+
+    def test_config_passthrough(self):
+        point = OperatingPoint(5e-3, 10e-3)
+        sim = point.simulation_config()
+        assert sim.ba_overhead_s == 5e-3
+        assert sim.frame_time_s == 10e-3
+        gt = point.ground_truth_config()
+        assert gt.ba_overhead_s == 5e-3
+
+    def test_paper_grid_shape(self):
+        grid = paper_grid()
+        assert len(grid) == 8
+        assert len({(p.ba_overhead_s, p.frame_time_s) for p in grid}) == 8
+
+
+class TestEvaluationGrid:
+    @pytest.fixture(scope="class")
+    def grid(self, main_dataset_with_na, testing_dataset):
+        return EvaluationGrid(
+            main_dataset_with_na, testing_dataset, n_estimators=30
+        )
+
+    def test_run_point_structure(self, grid):
+        result = grid.run_point(OperatingPoint(5e-3, 2e-3))
+        n = len(grid.evaluation_dataset.without_na())
+        for name in ("LiBRA", "BA First", "RA First"):
+            assert len(result.byte_gaps_mb[name]) == n
+            assert len(result.delay_gaps_ms[name]) == n
+            assert (result.byte_gaps_mb[name] >= -1e-6).all()
+            assert (result.delay_gaps_ms[name] >= -1e-6).all()
+
+    def test_paper_shape_at_cheap_sweep(self, grid):
+        result = grid.run_point(OperatingPoint(5e-3, 2e-3))
+        libra = result.oracle_match_fraction("LiBRA")
+        ra = result.oracle_match_fraction("RA First")
+        assert libra > ra
+        assert libra > 0.7
+
+    def test_models_cached_per_ground_truth(self, grid):
+        a = grid.libra_for(OperatingPoint(5e-3, 2e-3))
+        b = grid.libra_for(OperatingPoint(5e-3, 2e-3))
+        c = grid.libra_for(OperatingPoint(250e-3, 2e-3))
+        assert a is b
+        assert a is not c
+
+    def test_run_many_points(self, grid):
+        points = [OperatingPoint(0.5e-3, 2e-3), OperatingPoint(250e-3, 2e-3)]
+        results = grid.run(points)
+        assert [r.point for r in results] == points
+        # Delay: BA First's median gap explodes only at the slow sweep.
+        assert results[1].median_delay_gap_ms("BA First") >= results[
+            0
+        ].median_delay_gap_ms("BA First")

@@ -1,0 +1,88 @@
+"""Timeline generator tests (§8.3)."""
+
+import pytest
+
+from repro.dataset.entry import Dataset, ImpairmentKind
+from repro.sim.timeline import (
+    SEGMENT_DURATION_RANGE_S,
+    SEGMENTS_PER_TIMELINE,
+    ScenarioType,
+    TimelineGenerator,
+)
+from repro.core.ground_truth import Action
+from tests.conftest import make_entry
+
+
+@pytest.fixture(scope="module")
+def generator(main_dataset) -> TimelineGenerator:
+    return TimelineGenerator(main_dataset, seed=0)
+
+
+class TestGeneration:
+    def test_ten_segments_by_default(self, generator):
+        timeline = generator.generate(ScenarioType.MOBILITY)
+        assert len(timeline.segments) == SEGMENTS_PER_TIMELINE
+
+    def test_segment_durations_in_range(self, generator):
+        timeline = generator.generate(ScenarioType.MIXED)
+        low, high = SEGMENT_DURATION_RANGE_S
+        for segment in timeline.segments:
+            assert low <= segment.duration_s <= high
+
+    def test_total_duration_in_paper_range(self, generator):
+        for _ in range(10):
+            timeline = generator.generate(ScenarioType.MOBILITY)
+            assert 3.0 <= timeline.duration_s <= 30.0  # §8.3
+
+    def test_mobility_every_segment_impaired(self, generator):
+        timeline = generator.generate(ScenarioType.MOBILITY)
+        assert timeline.num_breaks == SEGMENTS_PER_TIMELINE
+        kinds = {s.entry.kind for s in timeline.segments}
+        assert kinds == {ImpairmentKind.DISPLACEMENT}
+
+    @pytest.mark.parametrize(
+        "scenario,kind",
+        [
+            (ScenarioType.BLOCKAGE, ImpairmentKind.BLOCKAGE),
+            (ScenarioType.INTERFERENCE, ImpairmentKind.INTERFERENCE),
+        ],
+    )
+    def test_alternating_scenarios(self, generator, scenario, kind):
+        timeline = generator.generate(scenario)
+        for index, segment in enumerate(timeline.segments):
+            if index % 2 == 0:
+                assert segment.entry is not None and segment.entry.kind is kind
+            else:
+                assert segment.entry is None
+                assert segment.clear_rate_mbps > 0  # previous link rate
+
+    def test_mixed_draws_multiple_kinds(self, generator):
+        kinds = set()
+        for _ in range(5):
+            timeline = generator.generate(ScenarioType.MIXED)
+            kinds |= {s.entry.kind for s in timeline.segments if s.entry}
+        assert len(kinds) == 3
+
+    def test_batch_count(self, generator):
+        batch = generator.batch(ScenarioType.MOBILITY, count=7)
+        assert len(batch) == 7
+
+    def test_custom_segment_count(self, generator):
+        assert len(generator.generate(ScenarioType.MOBILITY, 4).segments) == 4
+
+    def test_zero_segments_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate(ScenarioType.MOBILITY, 0)
+
+
+class TestValidation:
+    def test_empty_pool_rejected(self):
+        ds = Dataset()
+        ds.append(make_entry([300], [300], 0, Action.RA))  # displacement only
+        with pytest.raises(ValueError, match="blockage"):
+            TimelineGenerator(ds)
+
+    def test_seeded_determinism(self, main_dataset):
+        a = TimelineGenerator(main_dataset, seed=5).generate(ScenarioType.MIXED)
+        b = TimelineGenerator(main_dataset, seed=5).generate(ScenarioType.MIXED)
+        assert [s.duration_s for s in a.segments] == [s.duration_s for s in b.segments]

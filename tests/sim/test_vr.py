@@ -1,0 +1,123 @@
+"""VR application model tests (§8.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import BAFirstPolicy
+from repro.sim.engine import SimulationConfig
+from repro.sim.timeline import ScenarioType, TimelineGenerator
+from repro.sim.vr import (
+    COTS_SCALE,
+    BandwidthProfile,
+    VRConfig,
+    profile_from_timeline,
+    simulate_vr_session,
+    synthesize_trace,
+)
+
+
+class TestTrace:
+    def test_duration_and_fps(self):
+        trace = synthesize_trace()
+        assert trace.num_frames == 1800  # 30 s x 60 FPS
+        assert trace.deadline_s(0) == pytest.approx(1 / 60)
+
+    def test_mean_rate_close_to_target(self):
+        config = VRConfig()
+        trace = synthesize_trace(config)
+        total_bits = trace.frame_bytes.sum() * 8
+        rate = total_bits / config.duration_s / 1e6
+        assert rate == pytest.approx(config.mean_rate_mbps, rel=0.08)
+
+    def test_scene_variation_modulates_sizes(self):
+        trace = synthesize_trace()
+        assert trace.frame_bytes.max() / trace.frame_bytes.min() > 1.2
+
+    def test_deterministic_for_seed(self):
+        a = synthesize_trace(seed=3)
+        b = synthesize_trace(seed=3)
+        assert np.allclose(a.frame_bytes, b.frame_bytes)
+
+
+class TestBandwidthProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthProfile((), ())
+        with pytest.raises(ValueError):
+            BandwidthProfile((1.0,), (100.0,))  # must start at 0
+        with pytest.raises(ValueError):
+            BandwidthProfile((0.0, 1.0), (100.0,))  # length mismatch
+
+    def test_cumulative_bytes_piecewise(self):
+        profile = BandwidthProfile((0.0, 1.0), (800.0, 1600.0))  # Mbps
+        assert profile.bytes_delivered_until(0.5) == pytest.approx(800e6 / 8 / 2)
+        assert profile.bytes_delivered_until(2.0) == pytest.approx(
+            800e6 / 8 + 1600e6 / 8
+        )
+
+    def test_time_to_deliver_inverts_cumulative(self):
+        profile = BandwidthProfile((0.0, 1.0), (800.0, 1600.0))
+        for t in (0.3, 0.9, 1.7):
+            target = profile.bytes_delivered_until(t)
+            assert profile.time_to_deliver(target) == pytest.approx(t, abs=1e-9)
+
+    def test_zero_rate_tail_is_infinite(self):
+        profile = BandwidthProfile((0.0, 1.0), (800.0, 0.0))
+        beyond = profile.bytes_delivered_until(1.0) + 1.0
+        assert profile.time_to_deliver(beyond) == float("inf")
+
+
+class TestStallModel:
+    def test_ample_bandwidth_never_stalls(self):
+        trace = synthesize_trace()
+        profile = BandwidthProfile((0.0,), (5000.0,))
+        result = simulate_vr_session(profile, trace)
+        assert result.num_stalls == 0
+        assert result.total_stall_s == 0.0
+
+    def test_starved_link_stalls(self):
+        trace = synthesize_trace()
+        profile = BandwidthProfile((0.0,), (600.0,))  # half the demand
+        result = simulate_vr_session(profile, trace)
+        assert result.num_stalls >= 1
+        assert result.total_stall_s > 1.0
+
+    def test_outage_dominates_stall_budget(self):
+        trace = synthesize_trace()
+        # Barely-sufficient link (small client buffer), then a 1 s outage.
+        profile = BandwidthProfile((0.0, 5.0, 6.0), (1260.0, 0.0, 1260.0))
+        result = simulate_vr_session(profile, trace)
+        # The outage dominates the stall budget; the near-capacity link
+        # also rebuffers around scene-complexity peaks (several events).
+        assert result.num_stalls >= 1
+        assert 0.8 < result.total_stall_s < 2.0
+
+    def test_big_buffer_absorbs_outage(self):
+        trace = synthesize_trace()
+        # A fast link builds enough client buffer to ride out 1 s of outage.
+        profile = BandwidthProfile((0.0, 5.0, 6.0), (3000.0, 0.0, 3000.0))
+        result = simulate_vr_session(profile, trace)
+        assert result.num_stalls == 0
+
+    def test_mean_stall_duration(self):
+        from repro.sim.vr import VRSessionResult
+
+        result = VRSessionResult(2, 0.5, [0.2, 0.3])
+        assert result.mean_stall_duration_ms == pytest.approx(250.0)
+        assert VRSessionResult(0, 0.0).mean_stall_duration_ms == 0.0
+
+
+class TestProfileFromTimeline:
+    def test_profile_covers_timeline(self, main_dataset):
+        generator = TimelineGenerator(main_dataset, seed=0)
+        timeline = generator.generate(ScenarioType.MOBILITY)
+        profile = profile_from_timeline(
+            BAFirstPolicy(), timeline, SimulationConfig()
+        )
+        assert profile.times_s[0] == 0.0
+        assert len(profile.times_s) == len(profile.rates_mbps)
+        # COTS scaling caps rates at ~2.4 Gbps.
+        assert max(profile.rates_mbps) <= 2400.0 * 1.05
+
+    def test_scaling_factor(self):
+        assert COTS_SCALE == pytest.approx(2400.0 / 4750.0)

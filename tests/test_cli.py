@@ -1,0 +1,110 @@
+"""CLI tests: every subcommand end to end on small inputs."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dataset.io import save_dataset
+
+
+@pytest.fixture
+def saved_testing_dataset(testing_dataset, tmp_path):
+    path = tmp_path / "testing.jsonl"
+    save_dataset(testing_dataset, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_dataset_defaults(self):
+        args = build_parser().parse_args(["dataset"])
+        assert args.campaign == "main"
+        assert not args.include_na
+
+
+class TestDatasetCommand:
+    def test_summary_printed(self, capsys):
+        exit_code = main(["dataset", "--campaign", "testing"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "testing campaign" in out
+        assert "displacement" in out
+
+    def test_save_round_trip(self, tmp_path, capsys):
+        from repro.dataset.io import load_dataset
+
+        path = tmp_path / "out.jsonl"
+        assert main(["dataset", "--campaign", "testing", "--out", str(path)]) == 0
+        dataset = load_dataset(path)
+        assert len(dataset) > 100
+
+    def test_csv_export(self, tmp_path, capsys):
+        from repro.dataset.io import load_features_csv
+
+        path = tmp_path / "features.csv"
+        assert main(["dataset", "--campaign", "testing", "--csv", str(path)]) == 0
+        X, y, _prov = load_features_csv(path)
+        assert X.shape[1] == 7
+        assert len(y) == len(X)
+
+
+class TestTrainCommand:
+    def test_train_writes_model(self, saved_testing_dataset, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        exit_code = main([
+            "train", str(saved_testing_dataset),
+            "--model-out", str(model_path), "--trees", "8",
+        ])
+        assert exit_code == 0
+        record = json.loads(model_path.read_text())
+        assert record["kind"] == "random-forest"
+        assert len(record["trees"]) == 8
+        assert "train accuracy" in capsys.readouterr().out
+
+
+class TestEvaluateCommand:
+    def test_heuristics_only(self, saved_testing_dataset, capsys):
+        exit_code = main(["evaluate", str(saved_testing_dataset)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "BA First" in out and "RA First" in out
+        assert "LiBRA" not in out
+
+    def test_with_model(self, saved_testing_dataset, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        main([
+            "train", str(saved_testing_dataset),
+            "--model-out", str(model_path), "--trees", "8",
+        ])
+        capsys.readouterr()
+        exit_code = main([
+            "evaluate", str(saved_testing_dataset), "--model", str(model_path),
+            "--ba-overhead-ms", "5", "--flow-s", "0.4",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "LiBRA" in out
+        assert "matches Oracle-Data" in out
+
+
+class TestCotsCommand:
+    @pytest.mark.parametrize("scenario", ["static", "mobility"])
+    def test_session_summary(self, scenario, capsys):
+        exit_code = main(["cots", scenario, "--duration", "5"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "sectors" in out
+
+    def test_no_ba_locks_sector(self, capsys):
+        assert main(["cots", "static", "--duration", "5", "--no-ba"]) == 0
+        out = capsys.readouterr().out
+        assert "locked sector" in out

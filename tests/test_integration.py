@@ -1,0 +1,193 @@
+"""End-to-end integration tests: the paper's full pipeline.
+
+These assert the *headline results* at shape level: model accuracy
+ordering (§6.2), Gini importance structure (Table 3), LiBRA vs heuristics
+vs oracle (§8.2-8.3), and the 3-class controller (§7).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ground_truth import Action, GroundTruthConfig
+from repro.core.libra import LiBRA
+from repro.core.metrics import FEATURE_NAMES
+from repro.core.policies import BAFirstPolicy, RAFirstPolicy
+from repro.dataset.builder import DatasetBuildConfig, build_dataset
+from repro.env.placement import testing_building_plans as _testing_building_plans
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.model_selection import cross_validate, train_test_evaluate
+from repro.ml.tree import DecisionTreeClassifier
+from repro.sim.engine import SimulationConfig, simulate_flow, simulate_timeline
+from repro.sim.oracle import OracleData, OracleDelay
+from repro.sim.timeline import ScenarioType, TimelineGenerator
+
+
+class TestLearnability:
+    """§6.2: PHY-metric deltas predict the right mechanism."""
+
+    def test_rf_cv_accuracy_is_high(self, main_dataset):
+        result = cross_validate(
+            lambda: RandomForestClassifier(n_estimators=40, random_state=0),
+            main_dataset.feature_matrix(),
+            main_dataset.labels(),
+            n_splits=5,
+            random_state=0,
+        )
+        assert result.mean_accuracy > 0.86  # paper: 0.98
+        assert result.mean_f1 > 0.86
+
+    def test_cross_building_accuracy_drops_but_stays_useful(
+        self, main_dataset, testing_dataset
+    ):
+        model = RandomForestClassifier(n_estimators=40, random_state=0)
+        acc, f1 = train_test_evaluate(
+            model,
+            main_dataset.feature_matrix(), main_dataset.labels(),
+            testing_dataset.feature_matrix(), testing_dataset.labels(),
+        )
+        assert acc > 0.75  # paper: 0.88 (transfer drops here too)
+        assert f1 > 0.73
+
+    def test_trees_beat_majority_class(self, main_dataset):
+        y = main_dataset.labels()
+        majority = max(np.mean(y == "BA"), np.mean(y == "RA"))
+        result = cross_validate(
+            lambda: DecisionTreeClassifier(max_depth=10),
+            main_dataset.feature_matrix(), y, 5, random_state=1,
+        )
+        assert result.mean_accuracy > majority + 0.10
+
+
+class TestGiniImportances:
+    """Table 3's robust structure.
+
+    The paper's exact ranking (initial MCS > SNR > noise > CDR > CSI >
+    ToF > PDP) is hardware-specific — the authors themselves note "the
+    metric selection depends on the used hardware".  What must hold in any
+    faithful substrate: every metric contributes, none dominates, SNR is
+    informative, and ToF trails the link-quality metrics.  EXPERIMENTS.md
+    records our measured ranking next to the paper's.
+    """
+
+    @pytest.fixture(scope="class")
+    def importances(self, trained_forest):
+        return dict(zip(FEATURE_NAMES, trained_forest.gini_importance()))
+
+    def test_snr_among_top_features(self, importances):
+        ranked = sorted(importances, key=importances.get, reverse=True)
+        assert "snr_diff_db" in ranked[:4]
+
+    def test_every_metric_contributes(self, importances):
+        """'no metric has a very high value, suggesting that all metrics
+        are useful' — the paper's own headline for Table 3."""
+        assert min(importances.values()) > 0.01
+
+    def test_tof_trails_link_quality_metrics(self, importances):
+        assert importances["tof_diff_ns"] < importances["snr_diff_db"] + 0.05
+
+    def test_no_single_feature_dominates(self, importances):
+        assert max(importances.values()) < 0.6
+
+
+class TestThreeClassModel:
+    """§7: the BA/RA/NA model LiBRA actually deploys."""
+
+    def test_three_class_accuracy(self, main_dataset_with_na):
+        X = main_dataset_with_na.feature_matrix()
+        y = main_dataset_with_na.labels()
+        assert set(y) == {"BA", "RA", "NA"}
+        result = cross_validate(
+            lambda: RandomForestClassifier(n_estimators=40, random_state=0),
+            X, y, 5, random_state=0,
+        )
+        assert result.mean_accuracy > 0.86  # paper: 0.98
+
+    def test_na_recall_is_high(self, main_dataset_with_na):
+        """NA misclassified as BA would cause spurious sweeps — the §3
+        failure LiBRA exists to fix."""
+        from repro.ml.metrics import confusion_matrix
+
+        X = main_dataset_with_na.feature_matrix()
+        y = main_dataset_with_na.labels()
+        rng = np.random.default_rng(0)
+        indices = rng.permutation(len(y))
+        split = int(0.8 * len(y))
+        train, test = indices[:split], indices[split:]
+        model = RandomForestClassifier(n_estimators=40, random_state=0)
+        model.fit(X[train], y[train])
+        matrix, labels = confusion_matrix(y[test], model.predict(X[test]))
+        na_index = list(labels).index("NA")
+        na_row = matrix[na_index]
+        assert na_row[na_index] / na_row.sum() > 0.85
+
+
+class TestSingleImpairmentEvaluation:
+    """§8.2 headline: LiBRA ≈ oracle, RA-First worst."""
+
+    @pytest.fixture(scope="class")
+    def byte_gaps(self, main_dataset, testing_dataset):
+        model = RandomForestClassifier(n_estimators=40, random_state=0)
+        model.fit(main_dataset.feature_matrix(), main_dataset.labels())
+        config = SimulationConfig(ba_overhead_s=5e-3, frame_time_s=2e-3)
+        duration = 1.0
+        oracle = OracleData(config, duration)
+        policies = {
+            "LiBRA": LiBRA(model),
+            "RA First": RAFirstPolicy(),
+            "BA First": BAFirstPolicy(),
+        }
+        gaps = {name: [] for name in policies}
+        for entry in testing_dataset.without_na():
+            best = simulate_flow(oracle, entry, config, duration)
+            for name, policy in policies.items():
+                result = simulate_flow(policy, entry, config, duration)
+                gaps[name].append(
+                    (best.bytes_delivered - result.bytes_delivered) / 1e6
+                )
+        return {name: np.array(values) for name, values in gaps.items()}
+
+    def test_libra_matches_oracle_most_of_the_time(self, byte_gaps):
+        assert np.mean(byte_gaps["LiBRA"] <= 1.0) > 0.75  # paper: ~85 %
+
+    def test_libra_beats_ra_first(self, byte_gaps):
+        assert byte_gaps["LiBRA"].mean() < byte_gaps["RA First"].mean()
+
+    def test_ra_first_is_worst_on_bytes(self, byte_gaps):
+        assert np.mean(byte_gaps["RA First"] <= 1.0) < np.mean(
+            byte_gaps["BA First"] <= 1.0
+        )
+
+    def test_oracle_gap_never_negative(self, byte_gaps):
+        for values in byte_gaps.values():
+            assert (values >= -1e-6).all()
+
+
+class TestMultiImpairmentEvaluation:
+    """§8.3: timeline-level comparison."""
+
+    def test_libra_delivers_most_bytes_across_scenarios(
+        self, main_dataset, trained_forest
+    ):
+        config = SimulationConfig(ba_overhead_s=5e-3, frame_time_s=2e-3)
+        generator = TimelineGenerator(main_dataset, seed=1)
+        timelines = generator.batch(ScenarioType.MIXED, count=10)
+        totals = {}
+        for name, policy in (
+            ("LiBRA", LiBRA(trained_forest)),
+            ("RA First", RAFirstPolicy()),
+            ("BA First", BAFirstPolicy()),
+        ):
+            totals[name] = sum(
+                simulate_timeline(policy, t, config)[0] for t in timelines
+            )
+        assert totals["LiBRA"] >= 0.95 * max(totals.values())
+        assert totals["RA First"] < totals["LiBRA"]
+
+
+class TestDatasetPortability:
+    def test_seeded_rebuild_of_testing_plans_matches_fixture(self, testing_dataset):
+        rebuilt = build_dataset(
+            _testing_building_plans(), DatasetBuildConfig(seed=1), name="testing"
+        )
+        assert len(rebuilt) == len(testing_dataset)
+        assert (rebuilt.labels() == testing_dataset.labels()).all()

@@ -1,0 +1,45 @@
+"""Beam-pattern renderer tests."""
+
+import pytest
+
+from repro.phy.antenna import Beam, sibeam_codebook
+from repro.viz.ascii import beam_pattern_strip, codebook_gallery
+
+
+class TestBeamPatternStrip:
+    def test_main_lobe_is_brightest(self):
+        beam = Beam(index=0, steering_deg=0.0, beamwidth_deg=30.0, side_lobes=())
+        strip = beam_pattern_strip(beam, width=61, span_deg=180.0)
+        centre = strip[len(strip) // 2]
+        assert centre == "@"  # peak glyph at the steering angle
+        assert strip[0] != "@"  # back lobe is dim
+
+    def test_steered_beam_brightest_off_centre(self):
+        beam = Beam(index=0, steering_deg=60.0, beamwidth_deg=30.0, side_lobes=())
+        strip = beam_pattern_strip(beam, width=61, span_deg=180.0)
+        assert strip.index("@") > len(strip) // 2
+
+    def test_width_respected(self):
+        beam = sibeam_codebook()[12]
+        assert len(beam_pattern_strip(beam, width=40)) == 40
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            beam_pattern_strip(sibeam_codebook()[0], width=1)
+
+
+class TestCodebookGallery:
+    def test_one_line_per_beam(self):
+        codebook = sibeam_codebook()
+        lines = codebook_gallery(codebook, width=30)
+        assert len(lines) == len(codebook)
+        assert lines[0].startswith("beam  0")
+        assert "°" in lines[0]
+
+    def test_steering_progression_visible(self):
+        """Peak brightness drifts rightward as the steering angle grows."""
+        codebook = sibeam_codebook()
+        lines = codebook_gallery(codebook, width=72)
+        first_peak = lines[0].split("|")[1].index("@")
+        last_peak = lines[-1].split("|")[1].index("@")
+        assert first_peak < last_peak

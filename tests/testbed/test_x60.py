@@ -1,0 +1,143 @@
+"""X60 link emulation tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.env.geometry import Point
+from repro.env.placement import RadioPose
+from repro.env.rooms import make_corridor, make_lobby
+from repro.phy.blockage import HumanBlocker
+from repro.phy.interference import Interferer
+from repro.testbed.x60 import TOF_MIN_SNR_DB, X60Link
+
+
+@pytest.fixture(scope="module")
+def link() -> X60Link:
+    return X60Link(make_lobby(), RadioPose(Point(2.0, 6.0), 0.0))
+
+
+@pytest.fixture(scope="module")
+def rx() -> RadioPose:
+    return RadioPose(Point(10.0, 6.0), 180.0)
+
+
+class TestChannelState:
+    def test_rays_present(self, link, rx):
+        state = link.channel_state(rx)
+        assert state.rays
+        assert state.rays[0].order == 0  # LOS strongest in a clear lobby
+
+    def test_blockers_raise_loss(self, link, rx):
+        rng = np.random.default_rng(0)
+        clear = link.channel_state(rx, rng=rng)
+        blocker = HumanBlocker(Point(6.0, 6.0), 0.0, 25.0)
+        blocked = link.channel_state(rx, blockers=[blocker], rng=rng)
+        los_clear = next(r for r in clear.rays if r.order == 0)
+        los_blocked = next(r for r in blocked.rays if r.order == 0)
+        assert los_blocked.loss_db == pytest.approx(los_clear.loss_db + 25.0)
+
+    def test_interference_field_attached(self, link, rx):
+        state = link.channel_state(
+            rx, interferer=Interferer(Point(14.0, 7.0), "medium")
+        )
+        assert state.interference is not None
+
+
+class TestSectorSweep:
+    def test_noiseless_sweep_deterministic(self, link, rx):
+        state = link.channel_state(rx)
+        first = link.sector_sweep(state, rx, rng=None)
+        second = link.sector_sweep(state, rx, rng=None)
+        assert first == second
+
+    def test_facing_link_picks_on_axis_beams(self, link, rx):
+        state = link.channel_state(rx)
+        tx_beam, rx_beam, snr = link.sector_sweep(state, rx, rng=None)
+        assert abs(link.codebook[tx_beam].steering_deg) <= 10.0
+        assert abs(link.codebook[rx_beam].steering_deg) <= 10.0
+        assert snr > 15.0
+
+    def test_sweep_ranks_by_signal_not_sinr(self, link, rx):
+        """An interferer must not steer the sweep (preamble-correlation
+        SNR is interference-robust)."""
+        clear_state = link.channel_state(rx)
+        clear_pick = link.sector_sweep(clear_state, rx, rng=None)[:2]
+        noisy_state = link.channel_state(
+            rx, interferer=Interferer(Point(13.0, 6.5), "high"),
+            operating_pair=clear_pick,
+        )
+        assert link.sector_sweep(noisy_state, rx, rng=None)[:2] == clear_pick
+
+    def test_sweep_noise_changes_picks_sometimes(self, link, rx):
+        state = link.channel_state(rx)
+        rng = np.random.default_rng(0)
+        picks = {
+            link.sector_sweep(state, rx, rng, snr_noise_std_db=2.0)[:2]
+            for _ in range(30)
+        }
+        assert len(picks) > 1
+
+
+class TestMeasure:
+    def test_record_fields(self, link, rx):
+        rng = np.random.default_rng(0)
+        state = link.channel_state(rx, rng=rng)
+        t, r, _ = link.sector_sweep(state, rx)
+        m = link.measure(state, rx, t, r, rng)
+        assert m.room_name == "lobby"
+        assert (m.tx_beam, m.rx_beam) == (t, r)
+        assert m.pdp.sum() == pytest.approx(1.0)
+        assert m.cdr.shape == (9,)
+        assert 0.0 <= m.cdr.min() and m.cdr.max() <= 1.0
+
+    def test_snr_jitter_is_small(self, link, rx):
+        rng = np.random.default_rng(1)
+        state = link.channel_state(rx, rng=rng)
+        t, r, _ = link.sector_sweep(state, rx)
+        readings = [link.measure(state, rx, t, r, rng).snr_db for _ in range(100)]
+        m = link.measure(state, rx, t, r, rng)
+        assert np.std(readings) < 1.0
+        assert abs(np.mean(readings) - m.true_snr_db) < 0.3
+
+    def test_weak_signal_reports_infinite_tof(self, link):
+        far_rx = RadioPose(Point(19.5, 11.5), 90.0)  # corner, facing a wall
+        rng = np.random.default_rng(2)
+        state = link.channel_state(far_rx, rng=rng)
+        # Deliberately measure a badly misaligned pair.
+        m = link.measure(state, far_rx, 0, 24, rng)
+        if m.true_snr_db < TOF_MIN_SNR_DB:
+            assert math.isinf(m.tof_ns)
+
+    def test_throughput_consistent_with_cdr(self, link, rx):
+        rng = np.random.default_rng(3)
+        state = link.channel_state(rx, rng=rng)
+        m = link.measure(state, rx, 12, 12, rng)
+        from repro.phy.error_model import phy_rate_mbps
+
+        for mcs in range(9):
+            assert m.throughput_mbps[mcs] == pytest.approx(
+                phy_rate_mbps(mcs) * m.cdr[mcs], rel=1e-6
+            )
+
+
+class TestSweepAndMeasure:
+    def test_convenience_returns_best_pair_measurement(self, link, rx):
+        state, m = link.sweep_and_measure(rx)
+        expected = link.sector_sweep(state, rx)[:2]
+        assert (m.tx_beam, m.rx_beam) == expected
+
+
+class TestLinkBudgetShape:
+    def test_snr_decays_with_distance(self):
+        corridor = make_corridor(3.2, length=30.0)
+        link = X60Link(corridor, RadioPose(Point(0.5, 1.6), 0.0))
+        snrs = []
+        for x in (3.0, 10.0, 20.0, 28.0):
+            rx = RadioPose(Point(x, 1.6), 180.0)
+            _, m = link.sweep_and_measure(rx)
+            snrs.append(m.true_snr_db)
+        assert snrs == sorted(snrs, reverse=True)
+        assert snrs[0] > 25.0  # top MCS up close
+        assert snrs[-1] < snrs[0] - 10.0
