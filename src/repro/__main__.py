@@ -1,8 +1,12 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Kept separate from :mod:`repro.cli` so the return code of every
+``_cmd_*`` handler propagates through one ``sys.exit`` call — the CI
+smoke steps and shell scripts rely on non-zero exits for input errors.
+"""
 
 import sys
 
 from repro.cli import main
 
-if __name__ == "__main__":
-    sys.exit(main())
+sys.exit(main())

@@ -5,7 +5,12 @@ Covers the full pipeline without writing any Python:
 * ``dataset``  — run the measurement campaign and save/summarise it;
 * ``train``    — fit the LiBRA forest on a saved dataset, save the model;
 * ``evaluate`` — replay a saved dataset against LiBRA/heuristics/oracle;
-* ``cots``     — run one §3 motivation session and print its story.
+* ``cots``     — run one §3 motivation session and print its story;
+* ``inspect``  — summarise a ``--trace`` decision-trace JSONL.
+
+``dataset`` and ``evaluate`` accept ``--trace PATH`` (structured JSONL
+events) and ``--metrics`` (a counters/spans report on stderr-free
+stdout); see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -15,6 +20,35 @@ import sys
 from typing import Optional, Sequence
 
 import numpy as np
+
+
+def _package_version() -> str:
+    """The installed distribution version, falling back to the source tree."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
+def _fail(message: str) -> int:
+    """One-line error on stderr; exit code 2 (usage/input error)."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _add_obs_flags(parser) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="write structured JSONL events (see `repro inspect`)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect and print counters/gauges/timing spans",
+    )
 
 
 def _add_dataset_parser(subparsers) -> None:
@@ -34,6 +68,7 @@ def _add_dataset_parser(subparsers) -> None:
         help="augment with no-adaptation entries (needed to train LiBRA)",
     )
     parser.add_argument("--seed", type=int, default=None)
+    _add_obs_flags(parser)
 
 
 def _add_train_parser(subparsers) -> None:
@@ -56,6 +91,14 @@ def _add_evaluate_parser(subparsers) -> None:
     parser.add_argument("--ba-overhead-ms", type=float, default=5.0)
     parser.add_argument("--fat-ms", type=float, default=2.0)
     parser.add_argument("--flow-s", type=float, default=1.0)
+    _add_obs_flags(parser)
+
+
+def _add_inspect_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "inspect", help="summarise a decision-trace JSONL (from --trace)"
+    )
+    parser.add_argument("trace", help="JSONL trace written by `--trace PATH`")
 
 
 def _add_cots_parser(subparsers) -> None:
@@ -77,12 +120,49 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="LiBRA reproduction: datasets, models, and evaluations",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_dataset_parser(subparsers)
     _add_train_parser(subparsers)
     _add_evaluate_parser(subparsers)
     _add_cots_parser(subparsers)
+    _add_inspect_parser(subparsers)
     return parser
+
+
+def _make_obs(args):
+    """Build (recorder, registry) from the shared --trace/--metrics flags."""
+    from repro.obs import (
+        NULL_METRICS,
+        NULL_RECORDER,
+        JsonlTraceRecorder,
+        MetricsRegistry,
+    )
+
+    recorder = NULL_RECORDER
+    if args.trace:
+        open(args.trace, "w").close()  # fail on a bad path before the run, not after
+        recorder = JsonlTraceRecorder(args.trace)
+    registry = MetricsRegistry() if args.metrics else NULL_METRICS
+    return recorder, registry
+
+
+def _finish_obs(args, recorder, registry) -> None:
+    """Flush span events into the trace, close it, print the report."""
+    from repro.obs.events import SpanEvent
+
+    if args.trace and registry.enabled:
+        for name, seconds, count in registry.slowest_spans(top=1000):
+            recorder.record(SpanEvent(name, seconds, count))
+    recorder.close()
+    if registry.enabled:
+        print()
+        for line in registry.report():
+            print(line)
+    if args.trace:
+        print(f"trace written to {args.trace} ({recorder.written} events)")
 
 
 def _cmd_dataset(args) -> int:
@@ -92,17 +172,23 @@ def _cmd_dataset(args) -> int:
         build_testing_dataset,
     )
     from repro.dataset.io import save_dataset
+    from repro.obs.metrics import use_metrics
 
+    try:
+        recorder, registry = _make_obs(args)
+    except OSError as exc:
+        return _fail(f"cannot write trace '{args.trace}': {exc}")
     config_kwargs = {"include_na": args.include_na}
     if args.seed is not None:
         config_kwargs["seed"] = args.seed
     config = DatasetBuildConfig(**config_kwargs)
-    if args.campaign == "main":
-        dataset = build_main_dataset(config)
-    else:
-        if args.seed is None:
-            config = DatasetBuildConfig(include_na=args.include_na, seed=1)
-        dataset = build_testing_dataset(config)
+    with use_metrics(registry):
+        if args.campaign == "main":
+            dataset = build_main_dataset(config, metrics=registry)
+        else:
+            if args.seed is None:
+                config = DatasetBuildConfig(include_na=args.include_na, seed=1)
+            dataset = build_testing_dataset(config, metrics=registry)
     print(f"{args.campaign} campaign: {len(dataset)} entries")
     for scenario, row in dataset.summary().items():
         print(
@@ -117,6 +203,7 @@ def _cmd_dataset(args) -> int:
 
         save_features_csv(dataset, args.csv)
         print(f"features CSV saved to {args.csv}")
+    _finish_obs(args, recorder, registry)
     return 0
 
 
@@ -125,7 +212,10 @@ def _cmd_train(args) -> int:
     from repro.ml.forest import RandomForestClassifier
     from repro.ml.persistence import save_forest
 
-    dataset = load_dataset(args.dataset)
+    try:
+        dataset = load_dataset(args.dataset)
+    except (OSError, ValueError, KeyError) as error:
+        return _fail(f"cannot load dataset {args.dataset!r}: {error}")
     model = RandomForestClassifier(
         n_estimators=args.trees, max_depth=args.max_depth, random_state=args.seed
     )
@@ -146,24 +236,42 @@ def _cmd_evaluate(args) -> int:
     from repro.core.policies import BAFirstPolicy, RAFirstPolicy
     from repro.dataset.io import load_dataset
     from repro.ml.persistence import load_forest
+    from repro.obs.metrics import use_metrics
     from repro.sim.engine import SimulationConfig, simulate_flow
     from repro.sim.oracle import OracleData
 
-    dataset = load_dataset(args.dataset).without_na()
+    try:
+        dataset = load_dataset(args.dataset).without_na()
+    except (OSError, ValueError, KeyError) as error:
+        return _fail(f"cannot load dataset {args.dataset!r}: {error}")
     config = SimulationConfig(
         ba_overhead_s=args.ba_overhead_ms * 1e-3,
         frame_time_s=args.fat_ms * 1e-3,
     )
     policies = {"BA First": BAFirstPolicy(), "RA First": RAFirstPolicy()}
     if args.model:
-        policies["LiBRA"] = LiBRA(load_forest(args.model))
+        try:
+            policies["LiBRA"] = LiBRA(load_forest(args.model))
+        except (OSError, ValueError, KeyError) as error:
+            return _fail(f"cannot load model {args.model!r}: {error}")
+    try:
+        recorder, registry = _make_obs(args)
+    except OSError as exc:
+        return _fail(f"cannot write trace '{args.trace}': {exc}")
     oracle = OracleData(config, args.flow_s)
     gaps = {name: [] for name in policies}
-    for entry in dataset:
-        best = simulate_flow(oracle, entry, config, args.flow_s)
-        for name, policy in policies.items():
-            result = simulate_flow(policy, entry, config, args.flow_s)
-            gaps[name].append((best.bytes_delivered - result.bytes_delivered) / 1e6)
+    with use_metrics(registry), registry.span("evaluate.replay"):
+        for entry in dataset:
+            best = simulate_flow(
+                oracle, entry, config, args.flow_s, recorder, registry
+            )
+            for name, policy in policies.items():
+                result = simulate_flow(
+                    policy, entry, config, args.flow_s, recorder, registry
+                )
+                gaps[name].append(
+                    (best.bytes_delivered - result.bytes_delivered) / 1e6
+                )
     print(
         f"{len(dataset)} impairments, BA overhead {args.ba_overhead_ms:g} ms, "
         f"FAT {args.fat_ms:g} ms, {args.flow_s:g} s flows:"
@@ -174,6 +282,20 @@ def _cmd_evaluate(args) -> int:
             f"  {name:>9}: matches Oracle-Data {np.mean(values <= 1.0):4.0%}, "
             f"mean gap {values.mean():6.1f} MB, worst {values.max():6.1f} MB"
         )
+    _finish_obs(args, recorder, registry)
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.obs.inspect import summarize_trace
+    from repro.obs.trace import read_trace
+
+    try:
+        lines = summarize_trace(read_trace(args.trace))
+    except (OSError, ValueError) as error:
+        return _fail(str(error))
+    for line in lines:
+        print(line)
     return 0
 
 
@@ -206,12 +328,15 @@ _COMMANDS = {
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "cots": _cmd_cots,
+    "inspect": _cmd_inspect,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch to the subcommand; always returns its exit code (0 ok,
+    2 usage/input error) so ``__main__`` can hand it to ``sys.exit``."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    return int(_COMMANDS[args.command](args))
 
 
 if __name__ == "__main__":

@@ -130,6 +130,11 @@ AD_COTS_PEAK_THROUGHPUT_MBPS = 2400.0
 WORKING_MCS_MIN_CDR = 0.10
 """A working MCS must deliver >10 % of its codewords (§5.2)."""
 
+DEAD_LINK_CDR = 1e-3
+"""Below this CDR the current MCS delivers (near) nothing: no codeword of
+the frame decodes, so no Block ACK returns — the missing-ACK trigger and
+the NA link-died verdict both use this threshold."""
+
 WORKING_MCS_MIN_THROUGHPUT_MBPS = 150.0
 """...and >150 Mbps (50 % of the lowest X60 PHY rate) (§5.2)."""
 

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.mcs import AD_MCS_SET, MCSSet
 from repro.env.geometry import Point
+from repro.obs.events import SessionEvent
 from repro.env.placement import RadioPose
 from repro.env.rooms import Room, make_corridor, make_lobby
 from repro.phy.blockage import HumanBlocker
@@ -90,13 +91,20 @@ class FadeModel:
 
 @dataclass
 class SessionLog:
-    """What §3's figures plot: the Tx sector timeline and the throughput."""
+    """What §3's figures plot: the Tx sector timeline and the throughput.
+
+    ``events`` is the structured counterpart of the raw timeline — one
+    :class:`~repro.obs.events.SessionEvent` per MAC-visible incident
+    (sector change, failed sweep), so session traces can ride the same
+    JSONL pipeline the flow simulator uses.
+    """
 
     times_s: list = field(default_factory=list)
     sectors: list = field(default_factory=list)
     ba_count: int = 0
     bytes_delivered: float = 0.0
     duration_s: float = 0.0
+    events: list[SessionEvent] = field(default_factory=list)
 
     @property
     def throughput_mbps(self) -> float:
@@ -111,6 +119,12 @@ class SessionLog:
         return sum(
             1 for a, b in zip(self.sectors, self.sectors[1:]) if a != b
         )
+
+    def event_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.event] = counts.get(event.event, 0) + 1
+        return counts
 
 
 class CotsDevice:
@@ -262,6 +276,15 @@ def _run_session(
         payload, spent = device.step(state, rx)
         if device.sector != ba_before:
             log.ba_count += 1
+            log.events.append(
+                SessionEvent(
+                    event="sweep-failed" if device.sector == FAILED_SECTOR_ID
+                    else "sector-change",
+                    time_s=clock,
+                    sector=device.sector,
+                    mcs=device.mcs_index,
+                )
+            )
         log.times_s.append(clock)
         log.sectors.append(device.sector)
         log.bytes_delivered += payload

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.ml.base import Estimator, check_Xy
 from repro.ml.tree import DecisionTreeClassifier
+from repro.obs.metrics import get_metrics
 
 
 class RandomForestClassifier(Estimator):
@@ -50,6 +51,10 @@ class RandomForestClassifier(Estimator):
         self.feature_importances_: Optional[np.ndarray] = None
 
     def fit(self, X, y) -> "RandomForestClassifier":
+        with get_metrics().span("ml.forest.fit"):
+            return self._fit(X, y)
+
+    def _fit(self, X, y) -> "RandomForestClassifier":
         X, y = check_Xy(X, y)
         rng = np.random.default_rng(self.random_state)
         self.classes_ = np.unique(y)
@@ -80,6 +85,10 @@ class RandomForestClassifier(Estimator):
 
     def predict_proba(self, X) -> np.ndarray:
         """Average of per-tree leaf distributions, aligned to ``classes_``."""
+        with get_metrics().span("ml.forest.predict"):
+            return self._predict_proba(X)
+
+    def _predict_proba(self, X) -> np.ndarray:
         self._require_fitted("trees_")
         X, _ = check_Xy(X)
         out = np.zeros((X.shape[0], len(self.classes_)))

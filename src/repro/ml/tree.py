@@ -22,6 +22,7 @@ from typing import Optional
 import numpy as np
 
 from repro.ml.base import Estimator, check_Xy
+from repro.obs.metrics import get_metrics
 
 
 @dataclass
@@ -103,6 +104,10 @@ class DecisionTreeClassifier(Estimator):
     # -- fitting -----------------------------------------------------------
 
     def fit(self, X, y) -> "DecisionTreeClassifier":
+        with get_metrics().span("ml.tree.fit"):
+            return self._fit(X, y)
+
+    def _fit(self, X, y) -> "DecisionTreeClassifier":
         X, y = check_Xy(X, y)
         self.classes_, y_encoded = np.unique(y, return_inverse=True)
         self._n_features = X.shape[1]
@@ -190,6 +195,10 @@ class DecisionTreeClassifier(Estimator):
         return self.classes_[np.argmax(proba, axis=1)]
 
     def predict_proba(self, X) -> np.ndarray:
+        with get_metrics().span("ml.tree.predict"):
+            return self._predict_proba(X)
+
+    def _predict_proba(self, X) -> np.ndarray:
         self._require_fitted("root_")
         X, _ = check_Xy(X)
         out = np.empty((X.shape[0], len(self.classes_)))

@@ -1,0 +1,58 @@
+"""Observability layer: metrics, timing spans, and structured decision traces.
+
+Everything here defaults to *off*: the instrumented call sites across
+``sim``, ``dataset``, ``ml``, and ``cots`` take :data:`NULL_RECORDER` /
+:data:`NULL_METRICS` and add only an attribute check when disabled.  See
+``docs/observability.md`` for the event schema and span naming
+conventions.
+"""
+
+from repro.obs.events import (
+    FlowEvent,
+    RepairStep,
+    SessionEvent,
+    SpanEvent,
+    TRACE_SCHEMA_VERSION,
+    event_from_dict,
+)
+from repro.obs.inspect import summarize_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.trace import (
+    InMemoryTraceRecorder,
+    JsonlTraceRecorder,
+    NULL_RECORDER,
+    TraceRecorder,
+    read_trace,
+)
+
+__all__ = [
+    "Counter",
+    "FlowEvent",
+    "Gauge",
+    "Histogram",
+    "InMemoryTraceRecorder",
+    "JsonlTraceRecorder",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_RECORDER",
+    "RepairStep",
+    "SessionEvent",
+    "SpanEvent",
+    "TRACE_SCHEMA_VERSION",
+    "TraceRecorder",
+    "event_from_dict",
+    "get_metrics",
+    "read_trace",
+    "set_metrics",
+    "summarize_trace",
+    "use_metrics",
+]

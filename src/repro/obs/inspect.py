@@ -1,0 +1,126 @@
+"""Trace summaries: turn a ``.jsonl`` decision trace into a readable report.
+
+Powers ``repro inspect <trace.jsonl>``.  The summary covers, per policy:
+the action mix, the forced-RA rate (NA verdicts overridden by the ACK
+timeout), the RA→BA fallback rate, dead-link flows, recovery-delay
+distribution (with an ASCII histogram via :mod:`repro.viz.ascii`), and —
+when the trace carries span events — the slowest spans.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+import numpy as np
+
+from repro.viz.ascii import ascii_histogram
+
+
+def _policy_block(name: str, flows: list[dict]) -> list[str]:
+    actions = defaultdict(int)
+    forced = fallbacks = died = 0
+    delays_ms = []
+    settled = defaultdict(int)
+    for event in flows:
+        actions[event["executed_action"]] += 1
+        forced += bool(event.get("forced_ra"))
+        died += bool(event.get("link_died"))
+        repairs = event.get("repairs") or []
+        if (
+            event.get("ba_invoked")
+            and repairs
+            and repairs[0]["pair"] == "same"
+            and repairs[0]["found_mcs"] is None
+        ):
+            fallbacks += 1
+        delays_ms.append(event["recovery_delay_s"] * 1e3)
+        if event.get("settled_mcs") is not None:
+            settled[event["settled_mcs"]] += 1
+    total = len(flows)
+    mix = ", ".join(
+        f"{action} {count / total:.0%}" for action, count in sorted(actions.items())
+    )
+    delays = np.asarray(delays_ms)
+    lines = [
+        f"{name}: {total} flows",
+        f"  action mix:     {mix}",
+        f"  forced RA:      {forced / total:.1%}  (NA verdict overridden by ACK timeout)",
+        f"  RA→BA fallback: {fallbacks / total:.1%}",
+        f"  link died:      {died / total:.1%}",
+        f"  recovery delay: mean {delays.mean():.2f} ms, "
+        f"p50 {np.percentile(delays, 50):.2f} ms, p95 {np.percentile(delays, 95):.2f} ms",
+    ]
+    if settled:
+        top = sorted(settled.items(), key=lambda kv: kv[1], reverse=True)[:3]
+        lines.append(
+            "  settled MCS:    "
+            + ", ".join(f"MCS {mcs} ×{count}" for mcs, count in top)
+        )
+    if delays.size >= 2 and float(delays.max()) > float(delays.min()):
+        lines += [
+            "  " + line
+            for line in ascii_histogram(delays, bins=8, width=32,
+                                        title="recovery delay (ms):")
+        ]
+    return lines
+
+
+def _span_block(spans: list[dict], top: int = 8) -> list[str]:
+    totals: dict[str, list[float]] = defaultdict(lambda: [0.0, 0])
+    for event in spans:
+        entry = totals[event["name"]]
+        entry[0] += event["seconds"]
+        entry[1] += event.get("count", 1)
+    ranked = sorted(totals.items(), key=lambda kv: kv[1][0], reverse=True)[:top]
+    lines = ["slowest spans (total s / count):"]
+    for name, (seconds, count) in ranked:
+        lines.append(f"  {name:<32} {seconds:10.4f} / {count}")
+    return lines
+
+
+def _session_block(sessions: list[dict]) -> list[str]:
+    counts = defaultdict(int)
+    for event in sessions:
+        counts[event["event"]] += 1
+    mix = ", ".join(f"{name} ×{count}" for name, count in sorted(counts.items()))
+    return [f"COTS session events: {len(sessions)} ({mix})"]
+
+
+def summarize_trace(events: Iterable[dict]) -> list[str]:
+    """Render the full trace summary as text lines.
+
+    Accepts the parsed dicts from :func:`repro.obs.trace.read_trace`;
+    raises ``ValueError`` when the trace holds no events at all.
+    """
+    flows_by_policy: dict[str, list[dict]] = defaultdict(list)
+    spans: list[dict] = []
+    sessions: list[dict] = []
+    total = 0
+    for event in events:
+        total += 1
+        kind = event.get("type")
+        if kind == "flow":
+            flows_by_policy[event.get("policy", "?")].append(event)
+        elif kind == "span":
+            spans.append(event)
+        elif kind == "session":
+            sessions.append(event)
+    if total == 0:
+        raise ValueError("trace holds no events")
+    lines = [f"{total} events"]
+    flow_count = sum(len(flows) for flows in flows_by_policy.values())
+    if flow_count:
+        lines[0] += f" ({flow_count} flows, {len(flows_by_policy)} policies)"
+    lines.append("")
+    for name in sorted(flows_by_policy):
+        lines += _policy_block(name, flows_by_policy[name])
+        lines.append("")
+    if sessions:
+        lines += _session_block(sessions)
+        lines.append("")
+    if spans:
+        lines += _span_block(spans)
+    while lines and not lines[-1]:
+        lines.pop()
+    return lines

@@ -1,0 +1,338 @@
+"""Metrics registry: counters, gauges, streaming histograms, timing spans.
+
+The registry is the quantitative half of the observability layer (the
+qualitative half — per-flow decision traces — lives in
+:mod:`repro.obs.trace`).  Design constraints:
+
+* **negligible no-op overhead** — every instrumented hot path (``ml``
+  predict calls run once per simulated flow) defaults to
+  :data:`NULL_METRICS`, whose counters/gauges/histograms/spans are shared
+  do-nothing objects, so the disabled path costs one attribute lookup and
+  one no-op call;
+* **monotonic clocks** — spans time with ``time.perf_counter``, never the
+  wall clock;
+* **bounded memory** — histograms keep a thinned reservoir (deterministic
+  stride-doubling, no RNG) so million-sample runs stay at a few thousand
+  floats while p50/p95/p99 remain accurate.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution with quantile estimates.
+
+    Keeps running count/sum/min/max exactly and a bounded reservoir for
+    quantiles.  When the reservoir fills, every other sample is dropped
+    and the keep-stride doubles — a deterministic thinning that keeps a
+    uniform-in-index subsample without any randomness.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum",
+                 "_samples", "_stride", "_skip", "_max_samples")
+
+    def __init__(self, name: str, max_samples: int = 4096):
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self._samples: list[float] = []
+        self._stride = 1
+        self._skip = 0
+        self._max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if self._skip:
+            self._skip -= 1
+            return
+        self._skip = self._stride - 1
+        self._samples.append(value)
+        if len(self._samples) >= self._max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile from the reservoir (linear interpolation)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def percentiles(self) -> dict[str, float]:
+        """The headline trio: p50 / p95 / p99."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+    minimum = None
+    maximum = None
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def percentiles(self) -> dict[str, float]:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _NullSpan:
+    """Reusable no-op context manager (no allocation per use)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+@dataclass
+class Span:
+    """One timed section; duration lands in the registry's histogram.
+
+    Span histograms follow the ``<subsystem>.<operation>`` naming
+    convention (``sim.flow``, ``ml.forest.fit``, ``dataset.blockage``)
+    and always record **seconds**.
+    """
+
+    histogram: Histogram
+    _start: float = field(default=0.0, init=False)
+    elapsed_s: float = field(default=0.0, init=False)
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed_s = time.perf_counter() - self._start
+        self.histogram.observe(self.elapsed_s)
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    ``enabled`` lets hot paths skip building label strings or payloads
+    entirely when running against the no-op registry.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._span_names: set[str] = set()
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def span(self, name: str) -> Span:
+        """Time a ``with`` block into the histogram called ``name``."""
+        self._span_names.add(name)
+        return Span(self.histogram(name))
+
+    def spans(self) -> dict[str, Histogram]:
+        """Only the histograms that were fed by :meth:`span` (seconds)."""
+        return {name: self._histograms[name] for name in sorted(self._span_names)
+                if name in self._histograms}
+
+    def snapshot(self) -> dict:
+        """A plain-dict dump (JSON-friendly; used by tests and the CLI)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "mean": h.mean,
+                    "min": h.minimum,
+                    "max": h.maximum,
+                    **h.percentiles(),
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def report(self) -> list[str]:
+        """Readable text lines for terminal output."""
+        lines: list[str] = []
+        if self._counters:
+            lines.append("counters:")
+            for name, counter in sorted(self._counters.items()):
+                lines.append(f"  {name:<32} {counter.value}")
+        if self._gauges:
+            lines.append("gauges:")
+            for name, gauge in sorted(self._gauges.items()):
+                lines.append(f"  {name:<32} {gauge.value:.6g}")
+        if self._histograms:
+            lines.append("histograms (count / mean / p50 / p95 / p99):")
+            for name, hist in sorted(self._histograms.items()):
+                p = hist.percentiles()
+                lines.append(
+                    f"  {name:<32} {hist.count:6d} / {hist.mean:.4g} / "
+                    f"{p['p50']:.4g} / {p['p95']:.4g} / {p['p99']:.4g}"
+                )
+        return lines or ["(no metrics recorded)"]
+
+    def slowest_spans(self, top: int = 5) -> list[tuple[str, float, int]]:
+        """Span histograms ranked by total recorded seconds."""
+        ranked = sorted(
+            ((h.name, h.total, h.count) for h in self.spans().values()),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+        return ranked[:top]
+
+
+class NullMetrics(MetricsRegistry):
+    """The disabled registry: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def span(self, name: str):  # type: ignore[override]
+        return _NULL_SPAN
+
+
+NULL_METRICS = NullMetrics()
+"""Shared no-op registry — the default for every instrumented code path."""
+
+_default_registry: MetricsRegistry = NULL_METRICS
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry (``NULL_METRICS`` unless installed)."""
+    return _default_registry
+
+
+def set_metrics(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install (or, with ``None``, clear) the process-wide registry."""
+    global _default_registry
+    _default_registry = registry if registry is not None else NULL_METRICS
+    return _default_registry
+
+
+@contextlib.contextmanager
+def use_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scoped installation — restores the previous registry on exit."""
+    previous = _default_registry
+    set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

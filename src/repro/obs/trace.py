@@ -1,0 +1,99 @@
+"""Trace recorders: where structured events go.
+
+Three implementations behind one tiny interface:
+
+* :data:`NULL_RECORDER` — the default everywhere; ``enabled`` is False so
+  instrumented code skips even *building* events;
+* :class:`InMemoryTraceRecorder` — collects events in a list (tests,
+  interactive debugging);
+* :class:`JsonlTraceRecorder` — appends one JSON line per event, flushed
+  on close; the artifact ``repro inspect`` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator, Optional
+
+
+class TraceRecorder:
+    """No-op base recorder (also the null implementation).
+
+    ``enabled`` is the contract: hot paths must check it before
+    assembling an event payload, so the disabled path costs a single
+    attribute read.
+    """
+
+    enabled = False
+
+    def record(self, event) -> None:
+        """Accept one event (anything with ``to_dict()``)."""
+
+    def close(self) -> None:
+        """Flush and release any underlying resource."""
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+NULL_RECORDER = TraceRecorder()
+"""Shared do-nothing recorder — the default for every instrumented path."""
+
+
+class InMemoryTraceRecorder(TraceRecorder):
+    """Keeps typed events in ``self.events``."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def record(self, event) -> None:
+        self.events.append(event)
+
+
+class JsonlTraceRecorder(TraceRecorder):
+    """Writes one JSON object per line to ``path`` (opened lazily)."""
+
+    enabled = True
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = None
+        self.written = 0
+
+    def record(self, event) -> None:
+        if self._handle is None:
+            self._handle = self.path.open("w")
+        self._handle.write(json.dumps(event.to_dict()) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_trace(path: str | Path) -> Iterator[dict]:
+    """Yield parsed event dicts from a ``.jsonl`` trace.
+
+    Raises ``ValueError`` (with the line number) on a malformed line —
+    the CI smoke step and ``repro inspect`` both rely on this check.
+    """
+    path = Path(path)
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{lineno}: malformed trace line ({error})")
+            if not isinstance(record, dict) or "type" not in record:
+                raise ValueError(f"{path}:{lineno}: trace line is not a typed event")
+            yield record

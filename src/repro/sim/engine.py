@@ -23,12 +23,20 @@ mechanism as LiBRA to probe higher rates periodically").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
-from repro.constants import WORKING_MCS_MIN_CDR, WORKING_MCS_MIN_THROUGHPUT_MBPS
+from repro.constants import (
+    DEAD_LINK_CDR,
+    WORKING_MCS_MIN_CDR,
+    WORKING_MCS_MIN_THROUGHPUT_MBPS,
+)
 from repro.core.ground_truth import Action
 from repro.core.policies import LinkAdaptationPolicy, Observation
 from repro.core.rate_adaptation import RateAdaptation
 from repro.dataset.entry import DatasetEntry
+from repro.obs.events import FlowEvent, RepairStep
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.sim.timeline import Segment, Timeline
 
 
@@ -68,7 +76,7 @@ def observation_from_entry(entry: DatasetEntry, config: SimulationConfig) -> Obs
     """
     cdr_now = float(entry.traces_same_pair.cdr[entry.initial_mcs])
     tput_now = float(entry.traces_same_pair.throughput_mbps[entry.initial_mcs])
-    ack_missing = cdr_now < 1e-3
+    ack_missing = cdr_now < DEAD_LINK_CDR
     working = cdr_now > WORKING_MCS_MIN_CDR and tput_now > WORKING_MCS_MIN_THROUGHPUT_MBPS
     return Observation(
         features=None if ack_missing else entry.features,
@@ -79,10 +87,31 @@ def observation_from_entry(entry: DatasetEntry, config: SimulationConfig) -> Obs
     )
 
 
+def _record_repair(trace: Optional[FlowEvent], pair: str, start_mcs: int, repair) -> None:
+    if trace is not None:
+        trace.repairs.append(
+            RepairStep(
+                pair=pair,
+                start_mcs=start_mcs,
+                frames_spent=repair.frames_spent,
+                found_mcs=repair.found_mcs,
+                bytes_during_search=repair.bytes_during_search,
+            )
+        )
+
+
 def _execute_action(
-    action: Action, entry: DatasetEntry, config: SimulationConfig, duration_s: float
+    action: Action,
+    entry: DatasetEntry,
+    config: SimulationConfig,
+    duration_s: float,
+    trace: Optional[FlowEvent] = None,
 ) -> FlowResult:
-    """Charge the chosen recovery procedure and the steady state after it."""
+    """Charge the chosen recovery procedure and the steady state after it.
+
+    ``trace``, when given, accumulates the repair ladder — which beam pair
+    each RA round probed, the frames it spent, and where it settled.
+    """
     ra = RateAdaptation(frame_time_s=config.frame_time_s)
     elapsed = 0.0
     delivered = 0.0
@@ -93,10 +122,11 @@ def _execute_action(
             entry.traces_same_pair, entry.initial_mcs, duration_s
         )
         cdr = float(entry.traces_same_pair.cdr[entry.initial_mcs])
-        return FlowResult(delivered, 0.0, action, entry.initial_mcs, cdr < 1e-3)
+        return FlowResult(delivered, 0.0, action, entry.initial_mcs, cdr < DEAD_LINK_CDR)
 
     if action is Action.RA:
         repair = ra.repair(entry.traces_same_pair, entry.initial_mcs)
+        _record_repair(trace, "same", entry.initial_mcs, repair)
         elapsed += repair.frames_spent * config.frame_time_s
         delivered += repair.bytes_during_search
         if repair.found_mcs is not None:
@@ -107,7 +137,10 @@ def _execute_action(
             return FlowResult(delivered, elapsed, action, repair.found_mcs)
         # Algorithm 1 fallback: failed RA -> BA -> RA on the new pair.
         elapsed += config.ba_overhead_s
+        if trace is not None:
+            trace.ba_invoked = True
         repair2 = ra.repair(entry.traces_best_pair, entry.initial_mcs)
+        _record_repair(trace, "best", entry.initial_mcs, repair2)
         elapsed += repair2.frames_spent * config.frame_time_s
         delivered += repair2.bytes_during_search
         if repair2.found_mcs is None:
@@ -120,7 +153,10 @@ def _execute_action(
 
     # BA first: sweep (zero goodput), then RA on the new best pair.
     elapsed += config.ba_overhead_s
+    if trace is not None:
+        trace.ba_invoked = True
     repair = ra.repair(entry.traces_best_pair, entry.initial_mcs)
+    _record_repair(trace, "best", entry.initial_mcs, repair)
     elapsed += repair.frames_spent * config.frame_time_s
     delivered += repair.bytes_during_search
     if repair.found_mcs is None:
@@ -135,8 +171,16 @@ def simulate_flow(
     entry: DatasetEntry,
     config: SimulationConfig,
     duration_s: float,
+    recorder: TraceRecorder = NULL_RECORDER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> FlowResult:
-    """Simulate one flow that hits the entry's impairment at t = 0."""
+    """Simulate one flow that hits the entry's impairment at t = 0.
+
+    ``recorder`` and ``metrics`` default to the shared no-ops; with those
+    defaults this function does exactly the seed-era work plus two
+    attribute checks.  An enabled recorder receives one
+    :class:`~repro.obs.events.FlowEvent` per call.
+    """
     if duration_s <= 0:
         raise ValueError("flow duration must be positive")
     bind = getattr(policy, "bind", None)
@@ -145,28 +189,68 @@ def simulate_flow(
     observation = observation_from_entry(entry, config)
     decision = policy.decide(observation)
     action = decision.action
+    trace: Optional[FlowEvent] = None
+    if recorder.enabled:
+        trace = FlowEvent(
+            policy=getattr(policy, "name", type(policy).__name__),
+            decided_action=action.value,
+            executed_action=action.value,
+            ack_missing=observation.ack_missing,
+            current_mcs=observation.current_mcs,
+            current_mcs_working=observation.current_mcs_working,
+            bytes_delivered=0.0,
+            recovery_delay_s=0.0,
+            duration_s=duration_s,
+            decision_reason=decision.reason,
+            features=None if observation.features is None
+            else [float(v) for v in observation.features.to_array()],
+            kind=entry.kind.value,
+            room=entry.room,
+            position=entry.position_label,
+        )
     if action is Action.NA and not observation.current_mcs_working:
         # A policy that ignores a dead link would deliver nothing forever;
         # every real device falls back once the ACK timeout fires.  Charge
         # one frame of silence, then force the device's default (RA).
-        result = _execute_action(
+        inner = _execute_action(
             Action.RA, entry, config,
             max(duration_s - config.frame_time_s, 0.0),
+            trace,
         )
-        return FlowResult(
-            result.bytes_delivered,
-            result.recovery_delay_s + config.frame_time_s,
+        result = FlowResult(
+            inner.bytes_delivered,
+            inner.recovery_delay_s + config.frame_time_s,
             Action.RA,
-            result.settled_mcs,
-            result.link_died,
+            inner.settled_mcs,
+            inner.link_died,
         )
-    return _execute_action(action, entry, config, duration_s)
+        if trace is not None:
+            trace.forced_ra = True
+    else:
+        result = _execute_action(action, entry, config, duration_s, trace)
+    if trace is not None:
+        trace.executed_action = result.action.value
+        trace.bytes_delivered = result.bytes_delivered
+        trace.recovery_delay_s = result.recovery_delay_s
+        trace.settled_mcs = result.settled_mcs
+        trace.link_died = result.link_died
+        recorder.record(trace)
+    if metrics.enabled:
+        metrics.counter("sim.flows").inc()
+        metrics.counter(f"sim.action.{result.action.value}").inc()
+        metrics.histogram("sim.recovery_delay_s").observe(result.recovery_delay_s)
+        metrics.histogram("sim.bytes_delivered").observe(result.bytes_delivered)
+        if result.link_died:
+            metrics.counter("sim.link_died").inc()
+    return result
 
 
 def simulate_timeline(
     policy: LinkAdaptationPolicy,
     timeline: Timeline,
     config: SimulationConfig,
+    recorder: TraceRecorder = NULL_RECORDER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> tuple[float, float, int]:
     """Run a policy over a multi-segment timeline (§8.3).
 
@@ -186,7 +270,9 @@ def simulate_timeline(
             # Clear segment: steady state at the recovered link rate.
             total_bytes += segment.clear_rate_mbps * 1e6 / 8.0 * segment.duration_s
             continue
-        result = simulate_flow(policy, segment.entry, config, segment.duration_s)
+        result = simulate_flow(
+            policy, segment.entry, config, segment.duration_s, recorder, metrics
+        )
         total_bytes += result.bytes_delivered
         total_delay += min(result.recovery_delay_s, segment.duration_s)
         breaks += 1

@@ -23,6 +23,8 @@ from repro.core.libra import LiBRA
 from repro.core.policies import BAFirstPolicy, LinkAdaptationPolicy, RAFirstPolicy
 from repro.dataset.entry import Dataset
 from repro.ml.forest import RandomForestClassifier
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.sim.engine import SimulationConfig, simulate_flow
 from repro.sim.oracle import OracleData, OracleDelay
 
@@ -89,6 +91,9 @@ class EvaluationGrid:
             cross-building testing dataset).
         n_estimators / max_depth / random_state: Forest parameters for the
             per-point LiBRA models.
+        metrics: Optional registry; each point contributes a
+            ``sweep.run_point`` span, a ``sweep.train_libra`` span per
+            fresh model, and per-point progress counters/gauges.
     """
 
     training_dataset: Dataset
@@ -96,6 +101,7 @@ class EvaluationGrid:
     n_estimators: int = 60
     max_depth: int = 14
     random_state: int = 0
+    metrics: MetricsRegistry = NULL_METRICS
     _model_cache: dict = field(default_factory=dict, init=False, repr=False)
 
     def libra_for(self, point: OperatingPoint) -> LiBRA:
@@ -103,16 +109,17 @@ class EvaluationGrid:
         config = point.ground_truth_config()
         key = (config.alpha, config.ba_overhead_s, config.frame_time_s)
         if key not in self._model_cache:
-            model = RandomForestClassifier(
-                n_estimators=self.n_estimators,
-                max_depth=self.max_depth,
-                random_state=self.random_state,
-            )
-            model.fit(
-                self.training_dataset.feature_matrix(),
-                self.training_dataset.labels(config),
-            )
-            self._model_cache[key] = LiBRA(model)
+            with self.metrics.span("sweep.train_libra"):
+                model = RandomForestClassifier(
+                    n_estimators=self.n_estimators,
+                    max_depth=self.max_depth,
+                    random_state=self.random_state,
+                )
+                model.fit(
+                    self.training_dataset.feature_matrix(),
+                    self.training_dataset.labels(config),
+                )
+                self._model_cache[key] = LiBRA(model)
         return self._model_cache[key]
 
     def policies_for(self, point: OperatingPoint) -> dict[str, LinkAdaptationPolicy]:
@@ -122,35 +129,56 @@ class EvaluationGrid:
             "RA First": RAFirstPolicy(),
         }
 
-    def run_point(self, point: OperatingPoint) -> PointResult:
-        """Replay every evaluation impairment at one operating point."""
-        config = point.simulation_config()
-        duration = point.flow_duration_s
-        policies = self.policies_for(point)
-        data_oracle = OracleData(config, duration)
-        delay_oracle = OracleDelay(config, duration)
-        byte_gaps = {name: [] for name in policies}
-        delay_gaps = {name: [] for name in policies}
-        for entry in self.evaluation_dataset.without_na():
-            best_bytes = simulate_flow(data_oracle, entry, config, duration)
-            best_delay = simulate_flow(delay_oracle, entry, config, duration)
-            for name, policy in policies.items():
-                result = simulate_flow(policy, entry, config, duration)
-                byte_gaps[name].append(
-                    (best_bytes.bytes_delivered - result.bytes_delivered) / 1e6
+    def run_point(
+        self, point: OperatingPoint, recorder: TraceRecorder = NULL_RECORDER
+    ) -> PointResult:
+        """Replay every evaluation impairment at one operating point.
+
+        ``recorder`` receives every policy flow's decision event (oracle
+        flows included — they carry their own policy names).
+        """
+        metrics = self.metrics
+        with metrics.span("sweep.run_point") as span:
+            config = point.simulation_config()
+            duration = point.flow_duration_s
+            policies = self.policies_for(point)
+            data_oracle = OracleData(config, duration)
+            delay_oracle = OracleDelay(config, duration)
+            byte_gaps = {name: [] for name in policies}
+            delay_gaps = {name: [] for name in policies}
+            for entry in self.evaluation_dataset.without_na():
+                best_bytes = simulate_flow(
+                    data_oracle, entry, config, duration, recorder, metrics
                 )
-                delay_gaps[name].append(
-                    (result.recovery_delay_s - best_delay.recovery_delay_s) * 1e3
+                best_delay = simulate_flow(
+                    delay_oracle, entry, config, duration, recorder, metrics
                 )
+                for name, policy in policies.items():
+                    result = simulate_flow(
+                        policy, entry, config, duration, recorder, metrics
+                    )
+                    byte_gaps[name].append(
+                        (best_bytes.bytes_delivered - result.bytes_delivered) / 1e6
+                    )
+                    delay_gaps[name].append(
+                        (result.recovery_delay_s - best_delay.recovery_delay_s) * 1e3
+                    )
+        if metrics.enabled:
+            metrics.counter("sweep.points_done").inc()
+            metrics.gauge("sweep.last_point_wall_s").set(span.elapsed_s)
         return PointResult(
             point,
             {k: np.array(v) for k, v in byte_gaps.items()},
             {k: np.array(v) for k, v in delay_gaps.items()},
         )
 
-    def run(self, points: list[OperatingPoint]) -> list[PointResult]:
+    def run(
+        self, points: list[OperatingPoint], recorder: TraceRecorder = NULL_RECORDER
+    ) -> list[PointResult]:
         """All points, in order."""
-        return [self.run_point(point) for point in points]
+        if self.metrics.enabled:
+            self.metrics.gauge("sweep.points_total").set(len(points))
+        return [self.run_point(point, recorder) for point in points]
 
 
 def paper_grid(flow_duration_s: float = 1.0) -> list[OperatingPoint]:

@@ -1,0 +1,77 @@
+"""Trace-summary rendering."""
+
+import pytest
+
+from repro.obs.events import SessionEvent, SpanEvent
+from repro.obs.inspect import summarize_trace
+from tests.obs.test_trace import make_flow_event
+
+
+def _dicts(events):
+    return [event.to_dict() for event in events]
+
+
+class TestSummarizeTrace:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="no events"):
+            summarize_trace([])
+
+    def test_action_mix_and_rates(self):
+        events = [
+            make_flow_event(policy="RA First", recovery_delay_s=0.004 * i)
+            for i in range(1, 11)
+        ] + [
+            make_flow_event(
+                policy="RA First", executed_action="NA", repairs=[],
+                ba_invoked=False, recovery_delay_s=0.0,
+            )
+        ]
+        text = "\n".join(summarize_trace(_dicts(events)))
+        assert "RA First: 11 flows" in text
+        assert "NA 9%" in text and "RA 91%" in text
+        # All 10 RA flows carry the failed same-pair first repair.
+        assert "RA→BA fallback: 90.9%" in text
+        assert "recovery delay" in text
+
+    def test_policies_grouped_separately(self):
+        events = _dicts(
+            [make_flow_event(policy="LiBRA"), make_flow_event(policy="BA First")]
+        )
+        text = "\n".join(summarize_trace(events))
+        assert "LiBRA: 1 flows" in text
+        assert "BA First: 1 flows" in text
+
+    def test_spans_ranked_by_total_time(self):
+        events = _dicts(
+            [
+                make_flow_event(),
+                SpanEvent("ml.forest.fit", 2.0, 1),
+                SpanEvent("sweep.run_point", 5.0, 2),
+            ]
+        )
+        lines = summarize_trace(events)
+        span_lines = [line for line in lines if "sweep.run_point" in line
+                      or "ml.forest.fit" in line]
+        assert span_lines.index(
+            next(l for l in span_lines if "sweep.run_point" in l)
+        ) < span_lines.index(next(l for l in span_lines if "ml.forest.fit" in l))
+
+    def test_session_events_counted(self):
+        events = _dicts(
+            [
+                SessionEvent("sector-change", 1.0, 3, 5),
+                SessionEvent("sector-change", 2.0, 4, 5),
+                SessionEvent("sweep-failed", 3.0, 255, 0),
+            ]
+        )
+        text = "\n".join(summarize_trace(events))
+        assert "COTS session events: 3" in text
+        assert "sector-change ×2" in text
+
+    def test_histogram_rendered_for_spread_delays(self):
+        events = _dicts(
+            [make_flow_event(recovery_delay_s=0.001 * i) for i in range(20)]
+        )
+        text = "\n".join(summarize_trace(events))
+        assert "recovery delay (ms):" in text
+        assert "#" in text

@@ -38,6 +38,34 @@ class TestHeadline:
         )
 
 
+class TestShapes:
+    """Exact output shapes: one headline per policy, two CDF rows each."""
+
+    def test_headline_line_count(self, result):
+        lines = point_headline(result)
+        assert len(lines) == 1 + len(result.byte_gaps_mb)
+        assert lines[0].startswith("operating point:")
+        assert all(isinstance(line, str) for line in lines)
+
+    def test_headline_policy_order_matches_result(self, result):
+        lines = point_headline(result)
+        for line, name in zip(lines[1:], result.byte_gaps_mb):
+            assert name in line
+
+    def test_cdf_tables_line_count(self, result):
+        num_policies = len(result.byte_gaps_mb)
+        lines = point_cdf_tables(result, num_points=5)
+        assert len(lines) == 2 + 2 * num_policies
+
+    def test_cdf_tables_points_per_series(self, result):
+        lines = point_cdf_tables(result, num_points=7)
+        # Section headers carry one literal "@" ("MB@level"); series rows
+        # carry one per CDF point.
+        series_lines = [line for line in lines if line.count("@") > 1]
+        assert len(series_lines) == 2 * len(result.byte_gaps_mb)
+        assert all(line.count("@") == 7 for line in series_lines)
+
+
 class TestTablesAndFigures:
     def test_cdf_tables_cover_both_metrics(self, result):
         lines = point_cdf_tables(result)

@@ -37,6 +37,67 @@ class TestOperatingPoint:
         assert len({(p.ba_overhead_s, p.frame_time_s) for p in grid}) == 8
 
 
+class TestEvaluationGridTinyDataset:
+    """Smoke the full §8.2 methodology on a hand-built 8-entry dataset —
+    fast enough to run without the session-scoped campaign fixtures."""
+
+    @pytest.fixture
+    def tiny_grid(self):
+        from repro.dataset.entry import Dataset
+        from tests.conftest import make_entry
+
+        variants = [
+            ([300, 450, 865, 0, 0], [300, 450, 865, 1300], 4),
+            ([300, 450, 0, 0], [300, 450, 865], 3),
+            ([300, 450, 865, 1300], [300, 450, 865, 1300], 3),
+            ([300, 0, 0], [300, 450], 2),
+        ]
+        entries = [make_entry(*variant) for variant in variants for _ in range(2)]
+        dataset = Dataset(entries, "tiny")
+        return EvaluationGrid(dataset, dataset, n_estimators=4, max_depth=4)
+
+    def test_smoke_run(self, tiny_grid):
+        result = tiny_grid.run_point(OperatingPoint(5e-3, 2e-3, flow_duration_s=0.2))
+        n = len(tiny_grid.evaluation_dataset.without_na())
+        assert n == 8
+        for name in ("LiBRA", "BA First", "RA First"):
+            assert result.byte_gaps_mb[name].shape == (n,)
+            assert result.delay_gaps_ms[name].shape == (n,)
+            assert np.isfinite(result.byte_gaps_mb[name]).all()
+            assert 0.0 <= result.oracle_match_fraction(name) <= 1.0
+
+    def test_metrics_instrumentation(self, tiny_grid):
+        from repro.obs.metrics import MetricsRegistry
+
+        tiny_grid.metrics = registry = MetricsRegistry()
+        points = [
+            OperatingPoint(5e-3, 2e-3, flow_duration_s=0.2),
+            OperatingPoint(250e-3, 2e-3, flow_duration_s=0.2),
+        ]
+        tiny_grid.run(points)
+        n = len(tiny_grid.evaluation_dataset.without_na())
+        assert registry.histogram("sweep.run_point").count == len(points)
+        assert registry.counter("sweep.points_done").value == len(points)
+        assert registry.gauge("sweep.points_total").value == len(points)
+        assert registry.gauge("sweep.last_point_wall_s").value > 0.0
+        # 2 oracles + 3 policies per entry per point.
+        assert registry.counter("sim.flows").value == 5 * n * len(points)
+        assert registry.histogram("sweep.train_libra").count >= 1
+
+    def test_recorder_receives_every_flow(self, tiny_grid):
+        from repro.obs.trace import InMemoryTraceRecorder
+
+        recorder = InMemoryTraceRecorder()
+        tiny_grid.run_point(
+            OperatingPoint(5e-3, 2e-3, flow_duration_s=0.2), recorder
+        )
+        n = len(tiny_grid.evaluation_dataset.without_na())
+        assert len(recorder.events) == 5 * n
+        policies = {event.policy for event in recorder.events}
+        assert {"LiBRA", "BA First", "RA First",
+                "Oracle-Data", "Oracle-Delay"} <= policies
+
+
 class TestEvaluationGrid:
     @pytest.fixture(scope="class")
     def grid(self, main_dataset_with_na, testing_dataset):

@@ -95,6 +95,122 @@ class TestEvaluateCommand:
         assert "matches Oracle-Data" in out
 
 
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestErrorExitCodes:
+    def test_missing_dataset_exits_2(self, capsys):
+        assert main(["evaluate", "/no/such/dataset.jsonl"]) == 2
+        assert "cannot load dataset" in capsys.readouterr().err
+
+    def test_missing_model_exits_2(self, saved_testing_dataset, capsys):
+        code = main([
+            "evaluate", str(saved_testing_dataset), "--model", "/no/such/model.json",
+        ])
+        assert code == 2
+        assert "cannot load model" in capsys.readouterr().err
+
+    def test_malformed_dataset_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("this is not json\n")
+        assert main(["evaluate", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_truncated_dataset_exits_2(self, saved_testing_dataset, tmp_path, capsys):
+        lines = saved_testing_dataset.read_text().splitlines()
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+        assert main(["evaluate", str(truncated)]) == 2
+
+    def test_train_missing_dataset_exits_2(self, tmp_path, capsys):
+        code = main([
+            "train", "/no/such.jsonl", "--model-out", str(tmp_path / "m.json"),
+        ])
+        assert code == 2
+
+
+class TestObservabilityFlags:
+    def test_evaluate_trace_one_event_per_flow(
+        self, saved_testing_dataset, tmp_path, capsys
+    ):
+        from repro.dataset.io import load_dataset
+        from repro.obs.trace import read_trace
+
+        trace_path = tmp_path / "trace.jsonl"
+        code = main([
+            "evaluate", str(saved_testing_dataset),
+            "--trace", str(trace_path), "--flow-s", "0.2",
+        ])
+        assert code == 0
+        events = list(read_trace(trace_path))
+        flows = [e for e in events if e["type"] == "flow"]
+        n = len(load_dataset(saved_testing_dataset).without_na())
+        # 1 Oracle-Data + BA First + RA First flow per impairment.
+        assert len(flows) == 3 * n
+        assert all("repairs" in e and "recovery_delay_s" in e for e in flows)
+
+    def test_evaluate_metrics_report(self, saved_testing_dataset, capsys):
+        code = main([
+            "evaluate", str(saved_testing_dataset),
+            "--metrics", "--flow-s", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sim.flows" in out
+        assert "evaluate.replay" in out
+
+    def test_dataset_metrics_report(self, capsys):
+        code = main(["dataset", "--campaign", "testing", "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dataset.entries" in out
+        assert "dataset.displacement" in out
+
+    def test_inspect_renders_summary(self, saved_testing_dataset, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        main([
+            "evaluate", str(saved_testing_dataset),
+            "--trace", str(trace_path), "--flow-s", "0.2",
+        ])
+        capsys.readouterr()
+        assert main(["inspect", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "action mix" in out
+        assert "RA First" in out
+        assert "recovery delay" in out
+
+    def test_unwritable_trace_path_exits_2(self, saved_testing_dataset, capsys):
+        code = main([
+            "evaluate", str(saved_testing_dataset),
+            "--trace", "/no/such/dir/trace.jsonl",
+        ])
+        assert code == 2
+        assert "cannot write trace" in capsys.readouterr().err
+
+    def test_trace_path_is_a_directory_exits_2(
+        self, saved_testing_dataset, tmp_path, capsys
+    ):
+        code = main([
+            "evaluate", str(saved_testing_dataset), "--trace", str(tmp_path),
+        ])
+        assert code == 2
+        assert "cannot write trace" in capsys.readouterr().err
+
+    def test_inspect_missing_trace_exits_2(self, capsys):
+        assert main(["inspect", "/no/such/trace.jsonl"]) == 2
+
+    def test_inspect_malformed_trace_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "flow"\n')
+        assert main(["inspect", str(path)]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+
 class TestCotsCommand:
     @pytest.mark.parametrize("scenario", ["static", "mobility"])
     def test_session_summary(self, scenario, capsys):
