@@ -67,7 +67,18 @@ def _add_dataset_parser(subparsers) -> None:
         "--include-na", action="store_true",
         help="augment with no-adaptation entries (needed to train LiBRA)",
     )
-    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign RNG seed; the default (0) applies to both campaigns",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="persist one atomic checkpoint per completed placement plan",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="load matching checkpoints from --checkpoint-dir instead of rebuilding",
+    )
     _add_obs_flags(parser)
 
 
@@ -91,6 +102,20 @@ def _add_evaluate_parser(subparsers) -> None:
     parser.add_argument("--ba-overhead-ms", type=float, default=5.0)
     parser.add_argument("--fat-ms", type=float, default=2.0)
     parser.add_argument("--flow-s", type=float, default=1.0)
+    _add_obs_flags(parser)
+
+
+def _add_chaos_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "chaos",
+        help="run a live session under the full fault-injection plan",
+    )
+    parser.add_argument("--duration", type=float, default=4.0)
+    parser.add_argument("--seed", type=int, default=0, help="session RNG seed")
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="fault plan seed (default: --seed)",
+    )
     _add_obs_flags(parser)
 
 
@@ -128,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_train_parser(subparsers)
     _add_evaluate_parser(subparsers)
     _add_cots_parser(subparsers)
+    _add_chaos_parser(subparsers)
     _add_inspect_parser(subparsers)
     return parser
 
@@ -174,21 +200,21 @@ def _cmd_dataset(args) -> int:
     from repro.dataset.io import save_dataset
     from repro.obs.metrics import use_metrics
 
+    if args.resume and not args.checkpoint_dir:
+        return _fail("--resume requires --checkpoint-dir")
     try:
         recorder, registry = _make_obs(args)
     except OSError as exc:
         return _fail(f"cannot write trace '{args.trace}': {exc}")
-    config_kwargs = {"include_na": args.include_na}
-    if args.seed is not None:
-        config_kwargs["seed"] = args.seed
-    config = DatasetBuildConfig(**config_kwargs)
+    # One config for every path: --seed (default 0) is the campaign seed
+    # regardless of which building set is measured.
+    config = DatasetBuildConfig(include_na=args.include_na, seed=args.seed)
+    build = build_main_dataset if args.campaign == "main" else build_testing_dataset
     with use_metrics(registry):
-        if args.campaign == "main":
-            dataset = build_main_dataset(config, metrics=registry)
-        else:
-            if args.seed is None:
-                config = DatasetBuildConfig(include_na=args.include_na, seed=1)
-            dataset = build_testing_dataset(config, metrics=registry)
+        dataset = build(
+            config, metrics=registry,
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        )
     print(f"{args.campaign} campaign: {len(dataset)} entries")
     for scenario, row in dataset.summary().items():
         print(
@@ -323,11 +349,60 @@ def _cmd_cots(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """A live session on a faulty link: the acceptance run for the
+    hardened feedback path (see docs/robustness.md)."""
+    from repro.core.libra import LiBRA, ThresholdClassifier
+    from repro.env.geometry import Point
+    from repro.env.placement import RadioPose
+    from repro.env.rooms import make_lobby
+    from repro.faults import FaultPlan, FaultyClassifier, FaultyLink
+    from repro.mac.sls import SWEEP_MIN_VALID_SNR_DB
+    from repro.sim.live import LiveSession
+    from repro.testbed.x60 import X60Link
+
+    try:
+        recorder, registry = _make_obs(args)
+    except OSError as exc:
+        return _fail(f"cannot write trace '{args.trace}': {exc}")
+    fault_seed = args.seed if args.fault_seed is None else args.fault_seed
+    plan = FaultPlan.full(fault_seed)
+    room = make_lobby()
+    link = FaultyLink(
+        X60Link(room, RadioPose(Point(2.0, 6.0), 0.0)), plan, recorder
+    )
+    policy = LiBRA(FaultyClassifier(ThresholdClassifier(), plan, recorder))
+    session = LiveSession(
+        link,
+        policy,
+        RadioPose(Point(9.0, 6.0), 180.0),
+        seed=args.seed,
+        metric_staleness_s=0.2,
+        sweep_min_valid_snr_db=SWEEP_MIN_VALID_SNR_DB,
+    )
+    log = session.run(args.duration, recorder=recorder)
+    print(
+        f"chaos session survived {args.duration:g} s "
+        f"(session seed {args.seed}, fault seed {fault_seed}):"
+    )
+    print(f"  throughput:         {log.throughput_mbps:7.0f} Mbps")
+    print(f"  injected faults:    {plan.log.count():4d} "
+          f"({', '.join(f'{k}={v}' for k, v in sorted(plan.log.counts().items()))})")
+    print(f"  missing ACKs:       {log.missing_acks:4d} natural")
+    print(f"  rejected feedback:  {log.rejected_feedback:4d} by sanitizer, "
+          f"{log.stale_rejected} stale")
+    print(f"  fallback decisions: {log.fallback_decisions:4d}")
+    print(f"  sweeps:             {log.sweeps:4d} ({log.sweep_failures} failed attempts)")
+    _finish_obs(args, recorder, registry)
+    return 0
+
+
 _COMMANDS = {
     "dataset": _cmd_dataset,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "cots": _cmd_cots,
+    "chaos": _cmd_chaos,
     "inspect": _cmd_inspect,
 }
 

@@ -70,20 +70,55 @@ class LiBRA(LinkAdaptationPolicy):
         self._frames_since_decision = 0
 
     def decide(self, observation: Observation) -> PolicyDecision:
-        """One pass of Algorithm 1's selectAction()."""
+        """One pass of Algorithm 1's selectAction().
+
+        Hardened: rejected features (absent, non-finite, out-of-range CDR),
+        a classifier that raises, and garbage model output all degrade to
+        the §7 missing-ACK rule — no ACK-borne information can be trusted,
+        which is precisely the situation that rule covers — instead of
+        crashing the controller or acting on poisoned inputs.
+        """
         if observation.ack_missing:
             return self._missing_ack_rule(observation)
-        if observation.features is None:
-            raise ValueError("features are required when the ACK is present")
-        prediction = self.model.predict(
-            observation.features.to_array().reshape(1, -1)
-        )[0]
-        action = Action(str(prediction))
+        rejection = self._feature_rejection(observation)
+        if rejection is not None:
+            return self._degrade(observation, f"features rejected ({rejection})")
+        try:
+            prediction = self.model.predict(
+                observation.features.to_array().reshape(1, -1)
+            )[0]
+        except Exception as error:  # noqa: BLE001 — any model failure degrades
+            return self._degrade(
+                observation, f"model error ({type(error).__name__}: {error})"
+            )
+        try:
+            action = Action(str(prediction))
+        except ValueError:
+            return self._degrade(observation, f"unknown model label {prediction!r}")
         if action is Action.NA:
             return PolicyDecision(Action.NA, "model: no adaptation needed")
         if action is Action.RA:
             return PolicyDecision(Action.RA, "model: rate adaptation suffices")
         return PolicyDecision(Action.BA, "model: beam adaptation required")
+
+    @staticmethod
+    def _feature_rejection(observation: Observation) -> Optional[str]:
+        """Why the feature vector cannot be classified on, or ``None``."""
+        if observation.features is None:
+            return "no features despite ACK"
+        values = observation.features.to_array()
+        if not np.isfinite(values).all():
+            return "non-finite feature values"
+        if not 0.0 <= observation.features.cdr <= 1.0:
+            return f"CDR feature {observation.features.cdr:.3f} out of range"
+        return None
+
+    def _degrade(self, observation: Observation, why: str) -> PolicyDecision:
+        """Fall back to the missing-ACK rule, keeping the evidence trail."""
+        rule = self._missing_ack_rule(observation.degraded())
+        return PolicyDecision(
+            rule.action, f"{why}; missing-ACK rule: {rule.reason}", fallback=True
+        )
 
     def _missing_ack_rule(self, observation: Observation) -> PolicyDecision:
         """§7's fallback when no metrics arrive.

@@ -44,13 +44,36 @@ class Observation:
     current_mcs_working: bool
     ba_overhead_s: float
 
+    def degraded(self) -> "Observation":
+        """This observation with its feedback-borne content discarded.
+
+        The hardened feedback path lands here when the ACK arrived but its
+        metrics failed sanitization (non-finite, out of range, stale): the
+        transmitter has no trustworthy fresh information, which is exactly
+        the missing-ACK situation of §7 — so policies are asked again with
+        the feedback treated as absent and the link presumed not working.
+        """
+        return Observation(
+            features=None,
+            ack_missing=True,
+            current_mcs=self.current_mcs,
+            current_mcs_working=False,
+            ba_overhead_s=self.ba_overhead_s,
+        )
+
 
 @dataclass(frozen=True)
 class PolicyDecision:
-    """A policy's answer plus a short rationale (useful in logs/tests)."""
+    """A policy's answer plus a short rationale (useful in logs/tests).
+
+    ``fallback`` marks decisions the policy produced by *degrading* to the
+    §7 missing-ACK rule — rejected features, a classifier error, garbage
+    model output — rather than by its normal decision path.
+    """
 
     action: Action
     reason: str = ""
+    fallback: bool = False
 
 
 class LinkAdaptationPolicy(abc.ABC):

@@ -19,9 +19,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
 
 import numpy as np
 
+from repro.checkpoint import CheckpointStore
 from repro.constants import INTERFERENCE_DROP_LEVELS
 from repro.core.ground_truth import Action, GroundTruthConfig, label_entry
 from repro.core.metrics import compute_features
@@ -304,11 +307,33 @@ def _build_interference(
                 dataset.append(na)
 
 
+def _config_fingerprint(config: DatasetBuildConfig, name: str) -> dict:
+    """What a checkpoint must match to be reusable: every knob that changes
+    the campaign's entries or its RNG stream."""
+    gt = config.ground_truth
+    return {
+        "name": name,
+        "seed": config.seed,
+        "displacement_reps": config.displacement_reps,
+        "blockage_reps": config.blockage_reps,
+        "interference_reps": config.interference_reps,
+        "include_na": config.include_na,
+        "max_reflection_order": config.max_reflection_order,
+        "observation_window_s": config.observation_window_s,
+        "alpha": gt.alpha,
+        "ba_overhead_s": gt.ba_overhead_s,
+        "frame_time_s": gt.frame_time_s,
+        "tie_margin": gt.tie_margin,
+    }
+
+
 def build_dataset(
     plans: list[PlacementPlan],
     config: DatasetBuildConfig | None = None,
     name: str = "dataset",
     metrics: MetricsRegistry = NULL_METRICS,
+    checkpoint_dir: Optional[str | Path] = None,
+    resume: bool = False,
 ) -> Dataset:
     """Run the full measurement campaign over the given plans.
 
@@ -316,11 +341,32 @@ def build_dataset(
     ``dataset.displacement`` / ``dataset.blockage`` /
     ``dataset.interference`` — plus per-room entry counters, so slow
     campaigns show where the time went.
+
+    With a ``checkpoint_dir``, each completed placement plan is persisted
+    atomically (entries *and* the post-plan RNG state); with ``resume``
+    additionally set, plans whose checkpoint matches the build
+    configuration are loaded and the RNG fast-forwarded, so the remaining
+    plans measure exactly what an uninterrupted run would have — the
+    resumed dataset is byte-identical when saved.
     """
+    from repro.dataset.io import entry_from_dict, entry_to_dict
+
     config = config or DatasetBuildConfig()
     rng = np.random.default_rng(config.seed)
     dataset = Dataset(name=name)
-    for plan in plans:
+    store = None if checkpoint_dir is None else CheckpointStore(checkpoint_dir)
+    fingerprint = _config_fingerprint(config, name)
+    for index, plan in enumerate(plans):
+        key = f"plan-{index:03d}-{plan.room.name}"
+        if store is not None and resume:
+            payload = store.load(key)
+            if payload is not None and payload.get("config") == fingerprint:
+                for record in payload.get("entries", []):
+                    dataset.append(entry_from_dict(record, context=f"checkpoint {key}"))
+                rng.bit_generator.state = payload["rng_state"]
+                if metrics.enabled:
+                    metrics.counter("dataset.plans_resumed").inc()
+                continue
         before_plan = len(dataset)
         with metrics.span("dataset.plan"):
             for track in plan.displacement_tracks:
@@ -331,6 +377,14 @@ def build_dataset(
                     _build_blockage(plan, position, config, rng, dataset)
                 with metrics.span("dataset.interference"):
                     _build_interference(plan, position, config, rng, dataset)
+        if store is not None:
+            store.save(key, {
+                "config": fingerprint,
+                "rng_state": rng.bit_generator.state,
+                "entries": [
+                    entry_to_dict(entry) for entry in dataset.entries[before_plan:]
+                ],
+            })
         if metrics.enabled:
             metrics.counter(f"dataset.entries.{plan.room.name}").inc(
                 len(dataset) - before_plan
@@ -343,15 +397,25 @@ def build_dataset(
 def build_main_dataset(
     config: DatasetBuildConfig | None = None,
     metrics: MetricsRegistry = NULL_METRICS,
+    checkpoint_dir: Optional[str | Path] = None,
+    resume: bool = False,
 ) -> Dataset:
     """The main/training dataset (Table 1): six main-building environments."""
-    return build_dataset(main_building_plans(), config, name="main", metrics=metrics)
+    return build_dataset(
+        main_building_plans(), config, name="main", metrics=metrics,
+        checkpoint_dir=checkpoint_dir, resume=resume,
+    )
 
 
 def build_testing_dataset(
     config: DatasetBuildConfig | None = None,
     metrics: MetricsRegistry = NULL_METRICS,
+    checkpoint_dir: Optional[str | Path] = None,
+    resume: bool = False,
 ) -> Dataset:
     """The cross-building testing dataset (Table 2): buildings 1 and 2."""
     config = config or DatasetBuildConfig(seed=1)
-    return build_dataset(testing_building_plans(), config, name="testing", metrics=metrics)
+    return build_dataset(
+        testing_building_plans(), config, name="testing", metrics=metrics,
+        checkpoint_dir=checkpoint_dir, resume=resume,
+    )

@@ -25,7 +25,7 @@ from repro.testbed.traces import McsTraces
 FORMAT_VERSION = 1
 
 
-def _entry_to_dict(entry: DatasetEntry) -> dict:
+def entry_to_dict(entry: DatasetEntry) -> dict:
     return {
         "kind": entry.kind.value,
         "room": entry.room,
@@ -43,14 +43,30 @@ def _entry_to_dict(entry: DatasetEntry) -> dict:
     }
 
 
-def _entry_from_dict(record: dict) -> DatasetEntry:
+def entry_from_dict(record: dict, context: str = "") -> DatasetEntry:
+    """Rebuild one entry, validating its feature vector on the way in.
+
+    A non-finite feature (NaN/inf from a corrupted or hand-edited file)
+    used to sail through here and crash much later inside the model's
+    ``isfinite`` assert with no hint of which entry was bad.  Now it
+    raises ``ValueError`` immediately, with ``context`` (file:line from
+    :func:`load_dataset`) naming the offending record.
+    """
+    where = f" at {context}" if context else ""
+    features = np.array(record["features"], dtype=float)
+    if not np.isfinite(features).all():
+        bad = [f"{name}={float(value)!r}" for name, value in
+               zip(FEATURE_NAMES, features) if not np.isfinite(value)]
+        raise ValueError(
+            f"non-finite feature values{where}: {', '.join(bad)}"
+        )
     return DatasetEntry(
         kind=ImpairmentKind(record["kind"]),
         room=record["room"],
         position_label=record["position_label"],
         detail=record.get("detail", ""),
         rep=int(record["rep"]),
-        features=FeatureVector.from_array(np.array(record["features"])),
+        features=FeatureVector.from_array(features),
         label=Action(record["label"]),
         initial_mcs=int(record["initial_mcs"]),
         initial_throughput_mbps=float(record["initial_throughput_mbps"]),
@@ -70,7 +86,7 @@ def save_dataset(dataset: Dataset, path: str | Path) -> None:
         header = {"version": FORMAT_VERSION, "name": dataset.name, "entries": len(dataset)}
         handle.write(json.dumps(header) + "\n")
         for entry in dataset:
-            handle.write(json.dumps(_entry_to_dict(entry)) + "\n")
+            handle.write(json.dumps(entry_to_dict(entry)) + "\n")
 
 
 def load_dataset(path: str | Path) -> Dataset:
@@ -85,10 +101,12 @@ def load_dataset(path: str | Path) -> Dataset:
         if version != FORMAT_VERSION:
             raise ValueError(f"unsupported dataset format version {version!r}")
         dataset = Dataset(name=header.get("name", "dataset"))
-        for line in handle:
+        for lineno, line in enumerate(handle, start=2):
             line = line.strip()
             if line:
-                dataset.append(_entry_from_dict(json.loads(line)))
+                dataset.append(
+                    entry_from_dict(json.loads(line), context=f"{path}:{lineno}")
+                )
     expected = header.get("entries")
     if expected is not None and expected != len(dataset):
         raise ValueError(

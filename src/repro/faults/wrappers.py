@@ -1,0 +1,246 @@
+"""Wrappers that apply a :class:`~repro.faults.plan.FaultPlan` around
+unmodified components.
+
+* :class:`FaultyLink` wraps an :class:`~repro.testbed.x60.X60Link` (or
+  anything with its interface) for the closed-loop paths —
+  :class:`~repro.sim.live.LiveSession` and :mod:`repro.cots.device` drive
+  it exactly like the real link while ACK losses, metric corruption,
+  stale replays, and sweep failures ride along.
+* :class:`FaultyPolicy` wraps a policy for the trace-driven
+  :mod:`repro.sim.engine` path, perturbing each
+  :class:`~repro.core.policies.Observation` before the inner policy sees
+  it.
+* :class:`FaultyClassifier` wraps a trained model so LiBRA's classifier
+  dependency can raise or return garbage labels mid-run.
+
+Each wrapper maps the shared corruption taxonomy onto its own reporting
+surface (a link corrupts raw metric reports; a policy wrapper corrupts
+the derived feature deltas), logs every injection to the plan's
+:class:`~repro.faults.plan.FaultLog`, and — when given a recorder — emits
+``origin="injected"`` :class:`~repro.obs.events.FaultEvent` trace lines so
+``repro inspect`` can separate injected from natural failures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.policies import LinkAdaptationPolicy, Observation, PolicyDecision
+from repro.faults.plan import FaultPlan
+from repro.mac.sls import SweepError
+from repro.obs.events import FaultEvent
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
+from repro.testbed.traces import METRIC_AGE_KEY
+
+
+class _FaultyBase:
+    """Shared injection bookkeeping: log to the plan, optionally trace."""
+
+    def __init__(self, plan: FaultPlan, recorder: TraceRecorder = NULL_RECORDER):
+        self.plan = plan
+        self.recorder = recorder
+
+    def _inject(self, injector: str, target: str, detail: str = "") -> None:
+        self.plan.log.add(injector, target, detail)
+        if self.recorder.enabled:
+            self.recorder.record(
+                FaultEvent(origin="injected", kind=injector, detail=detail or target)
+            )
+
+
+class FaultyLink(_FaultyBase):
+    """A link whose measurements and sweeps misbehave per the plan.
+
+    Everything not intercepted (``channel_state``, ``snr_for_pair``,
+    ``codebook``, ``tx`` …) delegates to the wrapped link, so the wrapper
+    is a drop-in replacement for scenario code.
+
+    ``frame_time_s`` is only used to express a stale replay's age in
+    seconds (the injector thinks in measure-call counts).
+    """
+
+    def __init__(
+        self,
+        link,
+        plan: FaultPlan,
+        recorder: TraceRecorder = NULL_RECORDER,
+        frame_time_s: float = 2e-3,
+    ):
+        super().__init__(plan, recorder)
+        self._link = link
+        self.frame_time_s = frame_time_s
+        self._history: list = []  # (call_index, clean measurement)
+        self._calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._link, name)
+
+    # -- sweeps ---------------------------------------------------------------
+
+    def sector_sweep(self, state, rx, rng=None, **kwargs):
+        fault = self.plan.sweep_failure
+        mode = fault.fires(self.plan.rng) if fault is not None else None
+        if mode == "fail":
+            self._inject("sweep_failure", "sector_sweep", "total failure")
+            raise SweepError("injected sweep failure: no sector decoded")
+        result = self._link.sector_sweep(state, rx, rng, **kwargs)
+        if mode == "partial":
+            beams = len(self._link.codebook)
+            tx_beam = int(self.plan.rng.integers(beams))
+            rx_beam = int(self.plan.rng.integers(beams))
+            self._inject(
+                "sweep_failure", "sector_sweep",
+                f"partial sweep picked random pair ({tx_beam}, {rx_beam})",
+            )
+            # A plausible-looking SNR: the failure is silent by design.
+            return tx_beam, rx_beam, result[2]
+        return result
+
+    # -- measurements ---------------------------------------------------------
+
+    def _corrupt(self, measurement, mode: str):
+        """Break one *reported* metric; physics fields stay untouched."""
+        if mode == "nan-snr":
+            return replace(measurement, snr_db=math.nan)
+        if mode == "inf-noise":
+            return replace(measurement, noise_dbm=math.inf)
+        if mode == "wild-cdr":
+            # A link reports CDR only through per-MCS arrays the physics
+            # also uses, so the out-of-range class is exercised on the SNR
+            # report here (and on the CDR feature in FaultyPolicy).
+            return replace(measurement, snr_db=500.0)
+        if mode == "negative-tof":
+            return replace(measurement, tof_ns=-7.0)
+        if mode == "nan-pdp":
+            pdp = np.array(measurement.pdp, dtype=float, copy=True)
+            pdp[0] = math.nan
+            return replace(measurement, pdp=pdp)
+        raise ValueError(f"unknown corruption mode {mode!r}")
+
+    def measure(self, state, rx, tx_beam, rx_beam, rng=None):
+        measurement = self._link.measure(state, rx, tx_beam, rx_beam, rng)
+        self._calls += 1
+
+        loss = self.plan.ack_loss
+        if loss is not None and loss.fires(self.plan.rng):
+            self._inject("ack_loss", "measure", "frame lost: CDR forced to 0")
+            return replace(measurement, cdr=np.zeros_like(measurement.cdr))
+
+        stale = self.plan.stale_replay
+        if stale is not None and self._history and stale.fires(self.plan.rng):
+            cutoff = self._calls - stale.min_age_frames
+            eligible = [(call, m) for call, m in self._history if call <= cutoff]
+            if eligible:
+                call, old = eligible[-1]
+                age_s = (self._calls - call) * self.frame_time_s
+                self._inject(
+                    "stale_replay", "measure", f"replayed metrics {age_s * 1e3:.0f} ms old"
+                )
+                return replace(old, extra={**old.extra, METRIC_AGE_KEY: age_s})
+
+        corruption = self.plan.metric_corruption
+        mode = corruption.fires(self.plan.rng) if corruption is not None else None
+        if mode is not None:
+            self._inject("metric_corruption", "measure", mode)
+            measurement = self._corrupt(measurement, mode)
+        else:
+            self._history.append((self._calls, measurement))
+            if stale is not None and len(self._history) > stale.history_frames:
+                self._history.pop(0)
+        return measurement
+
+
+class FaultyClassifier(_FaultyBase):
+    """A model whose ``predict`` can raise or answer nonsense."""
+
+    def __init__(self, model, plan: FaultPlan, recorder: TraceRecorder = NULL_RECORDER):
+        super().__init__(plan, recorder)
+        self._model = model
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        fault = self.plan.classifier_fault
+        mode = fault.fires(self.plan.rng) if fault is not None else None
+        if mode == "raise":
+            self._inject("classifier_fault", "predict", "raised")
+            raise RuntimeError("injected classifier fault")
+        if mode == "garbage":
+            self._inject("classifier_fault", "predict", f"label {fault.garbage_label!r}")
+            rows = len(np.atleast_2d(features))
+            return np.array([fault.garbage_label] * rows)
+        return self._model.predict(features)
+
+
+class FaultyPolicy(LinkAdaptationPolicy):
+    """Perturb observations on their way into a wrapped policy.
+
+    This is the injection point for the trace-driven engine, which never
+    touches a link: ACK loss degrades the observation outright, stale
+    replay substitutes the previous decision point's features, and metric
+    corruption poisons individual feature values.  The wrapped (hardened)
+    policy must still return a sane decision.
+    """
+
+    def __init__(
+        self,
+        policy: LinkAdaptationPolicy,
+        plan: FaultPlan,
+        recorder: TraceRecorder = NULL_RECORDER,
+    ):
+        self._policy = policy
+        self._base = _FaultyBase(plan, recorder)
+        self.plan = plan
+        self.name = getattr(policy, "name", type(policy).__name__)
+        self._previous_features = None
+
+    def __getattr__(self, name):
+        return getattr(self._policy, name)
+
+    def reset(self) -> None:
+        self._previous_features = None
+        self._policy.reset()
+
+    def _corrupt_features(self, features, mode: str):
+        if mode == "nan-snr":
+            return replace(features, snr_diff_db=math.nan)
+        if mode == "inf-noise":
+            return replace(features, noise_diff_db=math.inf)
+        if mode == "wild-cdr":
+            return replace(features, cdr=37.5)
+        if mode == "negative-tof":
+            return replace(features, tof_diff_ns=math.nan)
+        if mode == "nan-pdp":
+            return replace(features, pdp_similarity=math.nan)
+        raise ValueError(f"unknown corruption mode {mode!r}")
+
+    def decide(self, observation: Observation) -> PolicyDecision:
+        plan = self.plan
+        perturbed = observation
+        loss = plan.ack_loss
+        if loss is not None and loss.fires(plan.rng):
+            self._base._inject("ack_loss", "decide", "observation degraded to no-ACK")
+            perturbed = observation.degraded()
+        elif observation.features is not None:
+            stale = plan.stale_replay
+            if (
+                stale is not None
+                and self._previous_features is not None
+                and stale.fires(plan.rng)
+            ):
+                self._base._inject("stale_replay", "decide", "previous features replayed")
+                perturbed = replace(observation, features=self._previous_features)
+            corruption = plan.metric_corruption
+            mode = corruption.fires(plan.rng) if corruption is not None else None
+            if mode is not None:
+                self._base._inject("metric_corruption", "decide", mode)
+                perturbed = replace(
+                    perturbed, features=self._corrupt_features(perturbed.features, mode)
+                )
+        if observation.features is not None:
+            self._previous_features = observation.features
+        return self._policy.decide(perturbed)

@@ -56,6 +56,9 @@ class FlowEvent:
     """The ACK-timeout override: the policy said NA on a dead link and the
     device's default (RA) was charged instead."""
     ba_invoked: bool = False
+    decision_fallback: bool = False
+    """The policy degraded to the §7 missing-ACK rule (rejected features,
+    a model error, or a decide() exception caught by the engine)."""
     decision_reason: str = ""
     features: Optional[list[float]] = None
     repairs: list[RepairStep] = field(default_factory=list)
@@ -112,7 +115,39 @@ class SessionEvent:
         return record
 
 
-_EVENT_TYPES = {"flow": FlowEvent, "span": SpanEvent, "session": SessionEvent}
+@dataclass
+class FaultEvent:
+    """One feedback-path fault or its recovery.
+
+    ``origin`` says who raised it: ``"injected"`` (a :mod:`repro.faults`
+    injector fired), ``"natural"`` (the channel itself, e.g. an all-lost
+    frame), ``"sanitizer"`` (metric validation rejected the feedback),
+    ``"policy"`` (the classifier errored and the missing-ACK rule took
+    over), or ``"sweep"`` (beam training failed an attempt).  ``kind`` is
+    the fault taxonomy slug (see ``docs/robustness.md``); ``recovered``
+    marks recovery-outcome events.  ``time_s`` is ``-1.0`` when the
+    emitter has no session clock (plan-level injectors).
+    """
+
+    origin: str
+    kind: str
+    time_s: float = -1.0
+    detail: str = ""
+    recovered: bool = False
+
+    def to_dict(self) -> dict:
+        record = asdict(self)
+        record["type"] = "fault"
+        record["v"] = TRACE_SCHEMA_VERSION
+        return record
+
+
+_EVENT_TYPES = {
+    "flow": FlowEvent,
+    "span": SpanEvent,
+    "session": SessionEvent,
+    "fault": FaultEvent,
+}
 
 
 def event_from_dict(record: dict):

@@ -79,6 +79,41 @@ def _span_block(spans: list[dict], top: int = 8) -> list[str]:
     return lines
 
 
+def _fault_block(faults: list[dict]) -> list[str]:
+    """Injected-vs-natural failure rates and recovery outcomes."""
+    by_origin: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    recoveries = recovered = 0
+    for event in faults:
+        kind = event.get("kind", "?")
+        if kind in ("recovery", "sweep-retry-outcome"):
+            recoveries += 1
+            recovered += bool(event.get("recovered"))
+            continue
+        by_origin[event.get("origin", "?")][kind] += 1
+    injected = sum(by_origin.get("injected", {}).values())
+    observed = sum(
+        sum(kinds.values()) for origin, kinds in by_origin.items()
+        if origin != "injected"
+    )
+    lines = [f"fault events: {len(faults)}"]
+    lines.append(
+        f"  injected: {injected}, observed downstream: {observed} "
+        "(natural + sanitizer + policy + sweep)"
+    )
+    for origin in sorted(by_origin):
+        kinds = by_origin[origin]
+        mix = ", ".join(
+            f"{kind} ×{count}" for kind, count in sorted(kinds.items())
+        )
+        lines.append(f"  {origin:>9}: {sum(kinds.values()):4d}  ({mix})")
+    if recoveries:
+        lines.append(
+            f"  recoveries: {recoveries} "
+            f"({recovered / recoveries:.0%} back on a working MCS)"
+        )
+    return lines
+
+
 def _session_block(sessions: list[dict]) -> list[str]:
     counts = defaultdict(int)
     for event in sessions:
@@ -96,6 +131,7 @@ def summarize_trace(events: Iterable[dict]) -> list[str]:
     flows_by_policy: dict[str, list[dict]] = defaultdict(list)
     spans: list[dict] = []
     sessions: list[dict] = []
+    faults: list[dict] = []
     total = 0
     for event in events:
         total += 1
@@ -106,6 +142,8 @@ def summarize_trace(events: Iterable[dict]) -> list[str]:
             spans.append(event)
         elif kind == "session":
             sessions.append(event)
+        elif kind == "fault":
+            faults.append(event)
     if total == 0:
         raise ValueError("trace holds no events")
     lines = [f"{total} events"]
@@ -118,6 +156,9 @@ def summarize_trace(events: Iterable[dict]) -> list[str]:
         lines.append("")
     if sessions:
         lines += _session_block(sessions)
+        lines.append("")
+    if faults:
+        lines += _fault_block(faults)
         lines.append("")
     if spans:
         lines += _span_block(spans)

@@ -31,7 +31,7 @@ from repro.constants import (
     WORKING_MCS_MIN_THROUGHPUT_MBPS,
 )
 from repro.core.ground_truth import Action
-from repro.core.policies import LinkAdaptationPolicy, Observation
+from repro.core.policies import LinkAdaptationPolicy, Observation, PolicyDecision
 from repro.core.rate_adaptation import RateAdaptation
 from repro.dataset.entry import DatasetEntry
 from repro.obs.events import FlowEvent, RepairStep
@@ -187,7 +187,18 @@ def simulate_flow(
     if bind is not None:  # oracles are clairvoyant: hand them the entry
         bind(entry, duration_s)
     observation = observation_from_entry(entry, config)
-    decision = policy.decide(observation)
+    try:
+        decision = policy.decide(observation)
+    except Exception as error:  # noqa: BLE001 — a crashing policy must not kill the run
+        # Retry with the feedback discarded: the degraded observation is
+        # the missing-ACK shape every policy must handle (§7).
+        rule = policy.decide(observation.degraded())
+        decision = PolicyDecision(
+            rule.action,
+            f"policy error ({type(error).__name__}: {error}); "
+            f"retried degraded: {rule.reason}",
+            fallback=True,
+        )
     action = decision.action
     trace: Optional[FlowEvent] = None
     if recorder.enabled:
@@ -201,6 +212,7 @@ def simulate_flow(
             bytes_delivered=0.0,
             recovery_delay_s=0.0,
             duration_s=duration_s,
+            decision_fallback=decision.fallback,
             decision_reason=decision.reason,
             features=None if observation.features is None
             else [float(v) for v in observation.features.to_array()],

@@ -27,15 +27,25 @@ from repro.core.observation import (
     FrameFeedback,
     MetricWindow,
     WindowSnapshot,
+    feedback_rejection,
     features_between,
 )
 from repro.core.history import BlockagePatternLearner
-from repro.core.policies import LinkAdaptationPolicy, Observation
+from repro.core.policies import LinkAdaptationPolicy, Observation, PolicyDecision
 from repro.core.rate_adaptation import cdr_ori_threshold
 from repro.env.placement import RadioPose
+from repro.mac.sls import (
+    SWEEP_MIN_VALID_SNR_DB,
+    SweepError,
+    SweepRetryPolicy,
+    sweep_with_retry,
+)
+from repro.obs.events import FaultEvent
+from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.phy.blockage import HumanBlocker
 from repro.phy.error_model import phy_rate_mbps
 from repro.phy.interference import Interferer
+from repro.testbed.traces import METRIC_AGE_KEY
 from repro.testbed.x60 import X60Link
 
 
@@ -67,6 +77,17 @@ class SessionLog:
     duration_s: float = 0.0
     sweeps: int = 0
     ra_repairs: int = 0
+    # Hardened feedback path bookkeeping.
+    missing_acks: int = 0
+    """Frames whose Block ACK genuinely never arrived (all codewords lost)."""
+    rejected_feedback: int = 0
+    """ACKs that arrived but failed metric sanitization (treated as missing)."""
+    stale_rejected: int = 0
+    """Metric samples dropped by the staleness window."""
+    fallback_decisions: int = 0
+    """Decisions the policy produced by degrading to the §7 missing-ACK rule."""
+    sweep_failures: int = 0
+    """Individual sweep attempts that failed (retries may still succeed)."""
 
     @property
     def throughput_mbps(self) -> float:
@@ -102,6 +123,17 @@ class LiveSession:
             rung — paying a tiny rate cost instead of a full missing-ACK
             recovery when the hit lands.
         prearm_guard_s: Look-ahead window for pre-arming.
+        sweep_retry: Bounded retry-with-backoff policy applied when beam
+            training fails (a :class:`~repro.mac.sls.SweepError`, or a
+            best SNR under ``sweep_min_valid_snr_db``).
+        metric_staleness_s: Optional staleness window for ACK-borne
+            metrics: feedback measured more than this many seconds ago is
+            dropped instead of classified on.  ``None`` disables the check.
+        sweep_min_valid_snr_db: Optional validity floor for a sweep's best
+            measured SNR.  ``None`` (default) accepts any result — a fully
+            blocked link legitimately sweeps below 0 dB and an immediate
+            retry cannot help — while the chaos paths pass
+            :data:`~repro.mac.sls.SWEEP_MIN_VALID_SNR_DB`.
     """
 
     def __init__(
@@ -116,6 +148,9 @@ class LiveSession:
         pattern_learner: Optional[BlockagePatternLearner] = None,
         prearm_guard_s: float = 0.1,
         prearm_mcs_drop: int = 3,
+        sweep_retry: SweepRetryPolicy = SweepRetryPolicy(),
+        metric_staleness_s: Optional[float] = None,
+        sweep_min_valid_snr_db: Optional[float] = None,
     ):
         self.link = link
         self.policy = policy
@@ -125,11 +160,19 @@ class LiveSession:
         self.rng = np.random.default_rng(seed)
         self.blockers: tuple[HumanBlocker, ...] = ()
         self.interferer: Optional[Interferer] = None
+        self.sweep_retry = sweep_retry
+        self.sweep_min_valid_snr_db = sweep_min_valid_snr_db
         self._state = link.channel_state(initial_rx, rng=self.rng)
-        tx_beam, rx_beam, _ = link.sector_sweep(self._state, initial_rx, self.rng)
+        try:
+            tx_beam, rx_beam, _ = link.sector_sweep(self._state, initial_rx, self.rng)
+        except SweepError:
+            # The very first sweep failed (possible only on a faulty link):
+            # start on the boresight pair and let the run loop's retrying
+            # BA recover once frames start missing.
+            tx_beam, rx_beam = 0, 0
         self.tx_beam, self.rx_beam = tx_beam, rx_beam
         self.mcs = self._best_live_mcs()
-        self.window = MetricWindow(decision_period_frames)
+        self.window = MetricWindow(decision_period_frames, max_age_s=metric_staleness_s)
         self.previous_snapshot: Optional[WindowSnapshot] = None
         # §7 upward probing state.
         self._probe_interval = 5
@@ -168,19 +211,27 @@ class LiveSession:
             self._state, self.rx, self.tx_beam, self.rx_beam, self.rng
         )
 
-    def _frame_outcome(self) -> tuple[float, Optional[FrameFeedback]]:
-        """Send one AMPDU: returns (bytes delivered, feedback or None)."""
+    def _frame_outcome(self, now_s: float = 0.0) -> tuple[float, Optional[FrameFeedback]]:
+        """Send one AMPDU: returns (bytes delivered, feedback or None).
+
+        ``now_s`` stamps the feedback with its *measurement* time: a fresh
+        report was measured now, a replayed one (``metric_age_s`` in the
+        measurement's ``extra``) carries its original, older timestamp so
+        the staleness window can catch it.
+        """
         measurement = self._measure()
         cdr = float(measurement.cdr[self.mcs])
         payload = phy_rate_mbps(self.mcs) * 1e6 / 8.0 * self.frame_time_s * cdr
         if cdr < 1e-3:
             return payload, None  # whole frame lost: no Block ACK
+        age_s = float(measurement.extra.get(METRIC_AGE_KEY, 0.0))
         feedback = FrameFeedback(
             snr_db=measurement.snr_db,
             noise_dbm=measurement.noise_dbm,
             tof_ns=measurement.tof_ns,
             pdp=measurement.pdp,
             cdr=cdr,
+            timestamp_s=now_s - age_s,
         )
         return payload, feedback
 
@@ -198,17 +249,64 @@ class LiveSession:
 
     # -- adaptation mechanisms -------------------------------------------------
 
-    def _run_ba(self, log: SessionLog) -> float:
-        """A sweep: returns its wall-clock cost; updates the beam pair."""
-        tx_beam, rx_beam, _ = self.link.sector_sweep(self._state, self.rx, self.rng)
-        self.tx_beam, self.rx_beam = tx_beam, rx_beam
+    def _run_ba(
+        self,
+        log: SessionLog,
+        recorder: TraceRecorder = NULL_RECORDER,
+        clock: float = 0.0,
+    ) -> float:
+        """Beam training with bounded retry: returns its wall-clock cost.
+
+        Each attempt is one full sweep (charged ``ba_overhead_s``); a
+        :class:`SweepError` or a best SNR under the configured validity
+        floor fails the attempt and backs off per ``sweep_retry``.  When
+        every attempt fails the previous beam pair survives — a stale pair
+        beats acting on a sweep that measured nothing.
+        """
+
+        def attempt() -> tuple[int, int]:
+            tx_beam, rx_beam, snr = self.link.sector_sweep(
+                self._state, self.rx, self.rng
+            )
+            floor = self.sweep_min_valid_snr_db
+            if floor is not None and snr < floor:
+                raise SweepError(
+                    f"sweep best SNR {snr:.1f} dB under validity floor {floor:g} dB"
+                )
+            return tx_beam, rx_beam
+
+        def on_failure(index: int, reason: str) -> None:
+            log.sweep_failures += 1
+            if recorder.enabled:
+                recorder.record(FaultEvent(
+                    origin="sweep", kind="sweep-failed", time_s=clock,
+                    detail=f"attempt {index + 1}: {reason}",
+                ))
+
+        pair, attempts, elapsed = sweep_with_retry(
+            attempt, self.sweep_retry, attempt_cost_s=self.ba_overhead_s,
+            on_failure=on_failure,
+        )
+        log.sweeps += attempts
+        if pair is not None:
+            self.tx_beam, self.rx_beam = pair
+        if recorder.enabled and attempts > 1:
+            recorder.record(FaultEvent(
+                origin="sweep", kind="sweep-retry-outcome", time_s=clock,
+                detail=f"{attempts} attempts", recovered=pair is not None,
+            ))
         self._retrace()  # interference calibration follows the new pair
-        log.sweeps += 1
         self.window.reset()
         self.previous_snapshot = None
-        return self.ba_overhead_s
+        return elapsed
 
-    def _run_ra(self, log: SessionLog, start_mcs: int) -> tuple[float, float]:
+    def _run_ra(
+        self,
+        log: SessionLog,
+        start_mcs: int,
+        recorder: TraceRecorder = NULL_RECORDER,
+        clock: float = 0.0,
+    ) -> tuple[float, float]:
         """Algorithm 1's RA(): descend from ``start_mcs`` probing live
         frames; returns (bytes delivered during the search, time spent).
 
@@ -234,7 +332,7 @@ class LiveSession:
             ):
                 best = mcs
         if best is None:
-            elapsed += self._run_ba(log)
+            elapsed += self._run_ba(log, recorder, clock)
             measurement = self._measure()
             for mcs in range(start_mcs, -1, -1):
                 elapsed += self.frame_time_s
@@ -272,9 +370,19 @@ class LiveSession:
     # -- the main loop -----------------------------------------------------------
 
     def run(
-        self, duration_s: float, events: Sequence[LinkEvent] = ()
+        self,
+        duration_s: float,
+        events: Sequence[LinkEvent] = (),
+        recorder: TraceRecorder = NULL_RECORDER,
     ) -> SessionLog:
-        """Run the session for ``duration_s`` with the scripted events."""
+        """Run the session for ``duration_s`` with the scripted events.
+
+        With a ``recorder``, the session emits ``fault`` trace events —
+        natural missing ACKs, sanitizer rejections, stale-metric drops,
+        fallback decisions, failed sweep attempts, and each recovery
+        outcome — the raw material for ``repro inspect``'s
+        injected-vs-natural failure breakdown.
+        """
         if duration_s <= 0:
             raise ValueError("duration must be positive")
         log = SessionLog(duration_s=duration_s)
@@ -293,17 +401,37 @@ class LiveSession:
                 # lands on a robust MCS instead of killing the whole frame.
                 self.mcs = max(0, self.mcs - self.prearm_mcs_drop)
                 self.prearms += 1
-            payload, feedback = self._frame_outcome()
+            payload, feedback = self._frame_outcome(clock)
             log.bytes_delivered += payload
             log.frame_times_s.append(clock)
             log.mcs.append(self.mcs)
             log.beam_pairs.append((self.tx_beam, self.rx_beam))
             clock += self.frame_time_s
 
+            fault_origin = ""
+            if feedback is None:
+                fault_origin = "natural"
+                log.missing_acks += 1
+                if recorder.enabled:
+                    recorder.record(FaultEvent(
+                        origin="natural", kind="ack-missing", time_s=clock,
+                    ))
+            else:
+                rejection = feedback_rejection(feedback)
+                if rejection is not None:
+                    fault_origin = "sanitizer"
+                    log.rejected_feedback += 1
+                    if recorder.enabled:
+                        recorder.record(FaultEvent(
+                            origin="sanitizer", kind="metrics-rejected",
+                            time_s=clock, detail=rejection,
+                        ))
+                    feedback = None  # untrusted metrics == no metrics
+
             if feedback is None:
                 if self.pattern_learner is not None:
                     self.pattern_learner.record_break(clock)
-                # Missing Block ACK: Algorithm 1's dedicated rule.
+                # Missing (or untrusted) Block ACK: Algorithm 1's rule.
                 decision = self.policy.decide(Observation(
                     features=None,
                     ack_missing=True,
@@ -311,21 +439,42 @@ class LiveSession:
                     current_mcs_working=False,
                     ba_overhead_s=self.ba_overhead_s,
                 ))
+                if decision.fallback:
+                    log.fallback_decisions += 1
                 action = decision.action
                 if action is Action.NA:
                     action = Action.RA  # ACK timeout forces the COTS default
                 log.actions.append((clock, action))
                 if action is Action.BA:
-                    clock += self._run_ba(log)
-                    delivered, spent = self._run_ra(log, self.mcs)
+                    clock += self._run_ba(log, recorder, clock)
+                    delivered, spent = self._run_ra(log, self.mcs, recorder, clock)
                 else:
-                    delivered, spent = self._run_ra(log, max(self.mcs - 1, 0))
+                    delivered, spent = self._run_ra(
+                        log, max(self.mcs - 1, 0), recorder, clock
+                    )
                 log.bytes_delivered += delivered
                 clock += spent
+                if recorder.enabled:
+                    recorder.record(FaultEvent(
+                        origin=fault_origin, kind="recovery", time_s=clock,
+                        detail=f"{action.value} settled on MCS {self.mcs}",
+                        recovered=self.mcs > 0,
+                    ))
                 continue
 
             self._maybe_probe_up(feedback)
-            snapshot = self.window.push(feedback)
+            stale_before = self.window.stale_rejected
+            snapshot = self.window.push(feedback, now_s=clock)
+            if self.window.stale_rejected > stale_before:
+                log.stale_rejected = self.window.stale_rejected
+                if recorder.enabled:
+                    recorder.record(FaultEvent(
+                        origin="sanitizer", kind="stale-metrics", time_s=clock,
+                        detail=(
+                            f"{self.window.stale_rejected - stale_before}"
+                            " sample(s) expired"
+                        ),
+                    ))
             if snapshot is None:
                 continue
             if self.previous_snapshot is None:
@@ -333,21 +482,47 @@ class LiveSession:
                 continue
             features = features_between(self.previous_snapshot, snapshot, self.mcs)
             self.previous_snapshot = snapshot
-            decision = self.policy.decide(Observation(
+            observation = Observation(
                 features=features,
                 ack_missing=False,
                 current_mcs=self.mcs,
                 current_mcs_working=self._is_working(self.mcs),
                 ba_overhead_s=self.ba_overhead_s,
-            ))
+            )
+            try:
+                decision = self.policy.decide(observation)
+            except Exception as error:  # noqa: BLE001 — stay alive, degrade
+                rule = self.policy.decide(observation.degraded())
+                decision = PolicyDecision(
+                    rule.action,
+                    f"policy error ({type(error).__name__}: {error}); "
+                    f"retried degraded: {rule.reason}",
+                    fallback=True,
+                )
+            if decision.fallback:
+                log.fallback_decisions += 1
+                if recorder.enabled:
+                    recorder.record(FaultEvent(
+                        origin="policy", kind="fallback-decision",
+                        time_s=clock, detail=decision.reason,
+                    ))
             if decision.action is Action.NA:
                 continue
             log.actions.append((clock, decision.action))
             if decision.action is Action.BA:
-                clock += self._run_ba(log)
-                delivered, spent = self._run_ra(log, self.mcs)
+                clock += self._run_ba(log, recorder, clock)
+                delivered, spent = self._run_ra(log, self.mcs, recorder, clock)
             else:
-                delivered, spent = self._run_ra(log, max(self.mcs - 1, 0))
+                delivered, spent = self._run_ra(
+                    log, max(self.mcs - 1, 0), recorder, clock
+                )
             log.bytes_delivered += delivered
             clock += spent
+            if decision.fallback and recorder.enabled:
+                recorder.record(FaultEvent(
+                    origin="policy", kind="recovery", time_s=clock,
+                    detail=f"{decision.action.value} settled on MCS {self.mcs}",
+                    recovered=self.mcs > 0,
+                ))
+        log.stale_rejected = self.window.stale_rejected
         return log

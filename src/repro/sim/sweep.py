@@ -10,10 +10,12 @@ oracle references, byte and delay gap collection — behind one call.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional
 
 import numpy as np
 
+from repro.checkpoint import CheckpointStore
 from repro.constants import (
     ALPHA_FOR_HIGH_BA_OVERHEAD,
     ALPHA_FOR_LOW_BA_OVERHEAD,
@@ -173,12 +175,64 @@ class EvaluationGrid:
         )
 
     def run(
-        self, points: list[OperatingPoint], recorder: TraceRecorder = NULL_RECORDER
+        self,
+        points: list[OperatingPoint],
+        recorder: TraceRecorder = NULL_RECORDER,
+        checkpoint_dir: Optional[str | Path] = None,
+        resume: bool = False,
     ) -> list[PointResult]:
-        """All points, in order."""
+        """All points, in order.
+
+        With a ``checkpoint_dir``, each completed point is persisted
+        atomically; with ``resume`` additionally set, points whose
+        checkpoint matches the requested operating point are loaded
+        instead of recomputed.  Results round-trip through JSON exactly
+        (shortest-repr floats), so a killed-and-resumed run produces the
+        same numbers as an uninterrupted one.
+        """
+        store = None if checkpoint_dir is None else CheckpointStore(checkpoint_dir)
         if self.metrics.enabled:
             self.metrics.gauge("sweep.points_total").set(len(points))
-        return [self.run_point(point, recorder) for point in points]
+        results: list[PointResult] = []
+        for index, point in enumerate(points):
+            key = f"point-{index:04d}"
+            if store is not None and resume:
+                payload = store.load(key)
+                if payload is not None and payload.get("point") == _point_to_dict(point):
+                    results.append(_point_result_from_dict(point, payload))
+                    if self.metrics.enabled:
+                        self.metrics.counter("sweep.points_resumed").inc()
+                    continue
+            result = self.run_point(point, recorder)
+            if store is not None:
+                store.save(key, _point_result_to_dict(result))
+            results.append(result)
+        return results
+
+
+def _point_to_dict(point: OperatingPoint) -> dict:
+    return {
+        "ba_overhead_s": point.ba_overhead_s,
+        "frame_time_s": point.frame_time_s,
+        "flow_duration_s": point.flow_duration_s,
+        "alpha": point.alpha,
+    }
+
+
+def _point_result_to_dict(result: PointResult) -> dict:
+    return {
+        "point": _point_to_dict(result.point),
+        "byte_gaps_mb": {k: list(map(float, v)) for k, v in result.byte_gaps_mb.items()},
+        "delay_gaps_ms": {k: list(map(float, v)) for k, v in result.delay_gaps_ms.items()},
+    }
+
+
+def _point_result_from_dict(point: OperatingPoint, payload: dict) -> PointResult:
+    return PointResult(
+        point,
+        {k: np.array(v, dtype=float) for k, v in payload["byte_gaps_mb"].items()},
+        {k: np.array(v, dtype=float) for k, v in payload["delay_gaps_ms"].items()},
+    )
 
 
 def paper_grid(flow_duration_s: float = 1.0) -> list[OperatingPoint]:

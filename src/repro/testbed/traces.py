@@ -18,6 +18,13 @@ import numpy as np
 
 from repro.constants import X60_NUM_MCS
 
+METRIC_AGE_KEY = "metric_age_s"
+"""`StateMeasurement.extra` key carrying how old the reported metrics are
+(seconds).  Fresh measurements omit it (age 0); a stale replay — injected
+or a real feedback-queue hiccup — sets it so timestamp-aware consumers
+(:class:`repro.core.observation.MetricWindow`) can detect and drop the
+report."""
+
 
 def best_working_mcs(
     cdr: np.ndarray, throughput_mbps: np.ndarray, max_mcs: Optional[int] = None

@@ -39,11 +39,54 @@ class TestModelDispatch:
         LiBRA(model).decide(obs())
         assert model.seen[0].shape == (1, 7)
 
-    def test_features_required_with_ack(self):
+    def test_missing_features_with_ack_degrade(self):
+        # An ACK without features used to crash the controller; hardened
+        # LiBRA treats it as untrustworthy feedback and falls back to the
+        # §7 missing-ACK rule (MCS 6, cheap sweep → BA).
         policy = LiBRA(ConstantModel("RA"))
-        broken = Observation(None, False, 6, True, 5e-3)
-        with pytest.raises(ValueError):
-            policy.decide(broken)
+        broken = Observation(None, False, 6, True, 0.5e-3)
+        decision = policy.decide(broken)
+        assert decision.fallback
+        assert decision.action is Action.BA
+        assert "rejected" in decision.reason
+
+
+class TestHardening:
+    """Degradation paths: every untrusted input lands on the §7 rule."""
+
+    class RaisingModel:
+        def predict(self, features):
+            raise RuntimeError("model artifact corrupted")
+
+    def test_non_finite_features_degrade(self):
+        policy = LiBRA(ConstantModel("RA"))
+        bad = FeatureVector(np.nan, -2.0, 0.5, 0.9, 0.8, 0.7, 4)
+        decision = policy.decide(Observation(bad, False, 4, True, 5e-3))
+        assert decision.fallback
+        assert decision.action is Action.BA  # MCS 4 < threshold → BA
+
+    def test_out_of_range_cdr_degrades(self):
+        policy = LiBRA(ConstantModel("RA"))
+        bad = FeatureVector(3.0, -2.0, 0.5, 0.9, 0.8, 37.5, 4)
+        decision = policy.decide(Observation(bad, False, 4, True, 5e-3))
+        assert decision.fallback
+
+    def test_model_error_degrades(self):
+        policy = LiBRA(self.RaisingModel())
+        decision = policy.decide(obs(mcs=4))
+        assert decision.fallback
+        assert "model error" in decision.reason
+        assert decision.action is Action.BA
+
+    def test_garbage_label_degrades(self):
+        policy = LiBRA(ConstantModel("corrupted-label"))
+        decision = policy.decide(obs(mcs=7, ba_overhead=0.25))
+        assert decision.fallback
+        assert decision.action is Action.RA  # high MCS, expensive sweep
+
+    def test_clean_path_is_not_fallback(self):
+        decision = LiBRA(ConstantModel("NA")).decide(obs())
+        assert not decision.fallback
 
 
 class TestMissingAckRule:

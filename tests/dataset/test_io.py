@@ -86,3 +86,56 @@ class TestFormat:
         path.write_text("\n".join(lines[:-1]) + "\n")
         with pytest.raises(ValueError, match="truncated"):
             load_dataset(path)
+
+
+class TestFeatureValidation:
+    """Non-finite features must fail at load time, naming the record."""
+
+    @pytest.fixture
+    def corrupt_path(self, dataset, tmp_path):
+        import math
+
+        from repro.core.metrics import FeatureVector
+
+        bad = make_entry(
+            [300],
+            [300],
+            0,
+            features=FeatureVector(math.nan, 0.0, 0.0, 0.9, 0.8, 0.5, 0),
+        )
+        dataset.append(bad)
+        path = tmp_path / "corrupt.jsonl"
+        save_dataset(dataset, path)
+        return path
+
+    def test_load_names_file_and_line(self, corrupt_path):
+        # Header is line 1, two clean entries follow: the bad one is line 4.
+        with pytest.raises(ValueError, match="non-finite feature values") as err:
+            load_dataset(corrupt_path)
+        assert f"{corrupt_path}:4" in str(err.value)
+        assert "snr_diff_db=nan" in str(err.value)
+
+    def test_entry_from_dict_without_context(self):
+        import math
+
+        from repro.dataset.io import entry_from_dict, entry_to_dict
+
+        record = entry_to_dict(make_entry([300], [300], 0))
+        record["features"][0] = math.inf
+        with pytest.raises(ValueError, match="non-finite feature values:"):
+            entry_from_dict(record)
+
+    def test_cli_train_exits_2_on_corrupt_dataset(self, corrupt_path, tmp_path, capsys):
+        from repro.cli import main
+
+        exit_code = main(
+            ["train", str(corrupt_path), "--model-out", str(tmp_path / "model.json")]
+        )
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "non-finite feature values" in err
+
+    def test_clean_dataset_unaffected(self, dataset, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        save_dataset(dataset, path)
+        assert len(load_dataset(path)) == len(dataset)

@@ -1,0 +1,96 @@
+"""The acceptance scenario: a live session under the full fault plan.
+
+Mirrors ``repro chaos`` — an unmodified lobby scenario driven through
+:class:`FaultyLink` + :class:`FaultyClassifier` with every injector on.
+The session must finish without an unhandled exception, the hardened
+feedback path must visibly absorb the chaos (fallbacks, rejections), and
+the whole thing must be reproducible from the two seeds.
+"""
+
+import pytest
+
+from repro.core.libra import LiBRA, ThresholdClassifier
+from repro.env.geometry import Point
+from repro.env.placement import RadioPose
+from repro.env.rooms import make_lobby
+from repro.faults import FaultPlan, FaultyClassifier, FaultyLink
+from repro.mac.sls import SWEEP_MIN_VALID_SNR_DB
+from repro.obs.trace import InMemoryTraceRecorder
+from repro.sim.live import LiveSession
+from repro.testbed.x60 import X60Link
+
+
+def chaos_session(seed=0, fault_seed=0):
+    plan = FaultPlan.full(fault_seed)
+    room = make_lobby()
+    link = FaultyLink(X60Link(room, RadioPose(Point(2.0, 6.0), 0.0)), plan)
+    policy = LiBRA(FaultyClassifier(ThresholdClassifier(), plan))
+    session = LiveSession(
+        link,
+        policy,
+        RadioPose(Point(9.0, 6.0), 180.0),
+        seed=seed,
+        metric_staleness_s=0.2,
+        sweep_min_valid_snr_db=SWEEP_MIN_VALID_SNR_DB,
+    )
+    return session, plan
+
+
+class TestChaosSession:
+    def test_survives_the_full_plan(self):
+        session, plan = chaos_session()
+        log = session.run(2.0)
+        # Every fault class fired and the session still moved data.
+        assert set(plan.log.counts()) == set(plan.active_injectors())
+        assert log.throughput_mbps > 100.0
+        # The hardening visibly absorbed the chaos.
+        assert log.fallback_decisions > 0
+        assert log.rejected_feedback > 0
+        assert log.missing_acks > 0
+
+    def test_stale_replays_hit_the_staleness_window(self):
+        session, plan = chaos_session()
+        log = session.run(2.0)
+        assert plan.log.count("stale_replay") > 0
+        assert log.stale_rejected > 0
+
+    def test_failed_sweeps_are_retried_not_fatal(self):
+        session, plan = chaos_session()
+        log = session.run(2.0)
+        assert plan.log.count("sweep_failure") > 0
+        assert log.sweep_failures > 0
+        assert log.sweeps > log.sweep_failures  # retries eventually land
+
+    def test_chaos_is_reproducible(self):
+        log_a = chaos_session()[0].run(1.0)
+        log_b = chaos_session()[0].run(1.0)
+        assert log_a.bytes_delivered == log_b.bytes_delivered
+        assert log_a.mcs == log_b.mcs
+        assert log_a.actions == log_b.actions
+
+    def test_trace_separates_injected_from_downstream(self):
+        recorder = InMemoryTraceRecorder()
+        session, plan = chaos_session()
+        session.link.recorder = recorder  # FaultyLink emits injected events
+        session.policy.model.recorder = recorder
+        session.run(2.0, recorder=recorder)
+        events = [e.to_dict() for e in recorder.events]
+        faults = [e for e in events if e["type"] == "fault"]
+        origins = {e["origin"] for e in faults}
+        assert "injected" in origins
+        assert {"sanitizer", "policy"} <= origins
+        recoveries = [e for e in faults if e["kind"] == "recovery"]
+        assert recoveries and any(e["recovered"] for e in recoveries)
+
+    def test_inspect_renders_the_fault_block(self):
+        from repro.obs.inspect import summarize_trace
+
+        recorder = InMemoryTraceRecorder()
+        session, _ = chaos_session()
+        session.link.recorder = recorder
+        session.run(1.0, recorder=recorder)
+        text = "\n".join(
+            summarize_trace([e.to_dict() for e in recorder.events])
+        )
+        assert "fault events:" in text
+        assert "injected:" in text

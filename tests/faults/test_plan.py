@@ -1,0 +1,150 @@
+"""Fault-plan tests: seeded determinism, validation, the injection log."""
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import (
+    CORRUPTION_MODES,
+    AckLoss,
+    ClassifierFault,
+    FaultLog,
+    FaultPlan,
+    MetricCorruption,
+    StaleReplay,
+    SweepFailure,
+)
+
+
+class ScriptedRng:
+    """A stand-in RNG whose ``random()`` pops from a fixed script."""
+
+    def __init__(self, values, integers=0):
+        self.values = list(values)
+        self._integers = integers
+
+    def random(self):
+        return self.values.pop(0)
+
+    def integers(self, n):
+        return self._integers % n
+
+
+def fire_schedule(plan: FaultPlan, draws: int = 200) -> list:
+    """One injector decision per draw — the plan's chaos schedule."""
+    schedule = []
+    for _ in range(draws):
+        schedule.append(
+            (
+                plan.ack_loss.fires(plan.rng),
+                plan.metric_corruption.fires(plan.rng),
+                plan.sweep_failure.fires(plan.rng),
+                plan.classifier_fault.fires(plan.rng),
+            )
+        )
+    return schedule
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        assert fire_schedule(FaultPlan.full(7)) == fire_schedule(FaultPlan.full(7))
+
+    def test_different_seed_different_schedule(self):
+        assert fire_schedule(FaultPlan.full(7)) != fire_schedule(FaultPlan.full(8))
+
+    def test_schedule_actually_fires_everything(self):
+        """`full()` is tuned so a short run sees every fault class."""
+        schedule = fire_schedule(FaultPlan.full(0), draws=500)
+        assert any(ack for ack, _, _, _ in schedule)
+        assert any(corrupt for _, corrupt, _, _ in schedule)
+        assert any(sweep for _, _, sweep, _ in schedule)
+        assert any(clf for _, _, _, clf in schedule)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_probability_range(self, bad):
+        with pytest.raises(ValueError, match="probability"):
+            AckLoss(probability=bad)
+
+    def test_burst_must_cover_a_frame(self):
+        with pytest.raises(ValueError, match="burst"):
+            AckLoss(burst_frames=0)
+
+    def test_unknown_corruption_mode(self):
+        with pytest.raises(ValueError, match="unknown corruption modes"):
+            MetricCorruption(modes=("nan-snr", "made-up"))
+
+    def test_empty_corruption_modes(self):
+        with pytest.raises(ValueError):
+            MetricCorruption(modes=())
+
+    def test_stale_history_must_cover_min_age(self):
+        with pytest.raises(ValueError, match="history"):
+            StaleReplay(min_age_frames=10, history_frames=5)
+
+    def test_sweep_and_classifier_fractions(self):
+        with pytest.raises(ValueError):
+            SweepFailure(partial_fraction=2.0)
+        with pytest.raises(ValueError):
+            ClassifierFault(raise_fraction=-1.0)
+
+
+class TestAckLossBursts:
+    def test_one_trigger_drops_the_whole_burst(self):
+        loss = AckLoss(probability=0.5, burst_frames=3)
+        rng = ScriptedRng([0.1, 0.9])  # trigger, then a clean draw
+        # One random draw triggers the burst; the next two fire for free.
+        assert [loss.fires(rng) for _ in range(4)] == [True, True, True, False]
+
+    def test_never_fires_at_zero_probability(self):
+        loss = AckLoss(probability=0.0)
+        rng = np.random.default_rng(0)
+        assert not any(loss.fires(rng) for _ in range(100))
+
+
+class TestInjectorModes:
+    def test_corruption_picks_a_known_mode(self):
+        corruption = MetricCorruption(probability=1.0)
+        rng = np.random.default_rng(0)
+        modes = {corruption.fires(rng) for _ in range(100)}
+        assert modes <= set(CORRUPTION_MODES)
+        assert len(modes) > 1  # all modes reachable in a longish run
+
+    def test_sweep_failure_split(self):
+        failure = SweepFailure(probability=1.0, partial_fraction=1.0)
+        assert failure.fires(np.random.default_rng(0)) == "partial"
+        failure = SweepFailure(probability=1.0, partial_fraction=0.0)
+        assert failure.fires(np.random.default_rng(0)) == "fail"
+
+    def test_classifier_fault_split(self):
+        fault = ClassifierFault(probability=1.0, raise_fraction=1.0)
+        assert fault.fires(np.random.default_rng(0)) == "raise"
+        fault = ClassifierFault(probability=1.0, raise_fraction=0.0)
+        assert fault.fires(np.random.default_rng(0)) == "garbage"
+
+
+class TestFaultLog:
+    def test_counts_by_injector(self):
+        log = FaultLog()
+        log.add("ack_loss", "measure")
+        log.add("ack_loss", "measure", "burst")
+        log.add("sweep_failure", "sector_sweep")
+        assert log.count() == 3
+        assert log.count("ack_loss") == 2
+        assert log.counts() == {"ack_loss": 2, "sweep_failure": 1}
+
+
+class TestFaultPlan:
+    def test_default_plan_is_inert(self):
+        plan = FaultPlan()
+        assert plan.active_injectors() == []
+
+    def test_full_plan_enables_the_whole_taxonomy(self):
+        plan = FaultPlan.full()
+        assert plan.active_injectors() == [
+            "ack_loss",
+            "metric_corruption",
+            "stale_replay",
+            "sweep_failure",
+            "classifier_fault",
+        ]

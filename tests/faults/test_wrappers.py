@@ -1,0 +1,285 @@
+"""Wrapper tests: faults land on the right surface, clean paths untouched."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.ground_truth import Action
+from repro.core.libra import LiBRA, ThresholdClassifier
+from repro.core.metrics import FeatureVector
+from repro.core.observation import FrameFeedback, feedback_rejection
+from repro.core.policies import LinkAdaptationPolicy, Observation, PolicyDecision
+from repro.faults.plan import (
+    AckLoss,
+    ClassifierFault,
+    FaultPlan,
+    MetricCorruption,
+    StaleReplay,
+    SweepFailure,
+)
+from repro.faults.wrappers import FaultyClassifier, FaultyLink, FaultyPolicy
+from repro.mac.sls import SweepError
+from repro.testbed.traces import METRIC_AGE_KEY, StateMeasurement
+
+
+class FakeLink:
+    """The X60Link surface the wrappers touch, with countable calls."""
+
+    def __init__(self):
+        self.codebook = list(range(8))
+        self.sweeps = 0
+        self.measures = 0
+
+    def sector_sweep(self, state, rx, rng=None, **kwargs):
+        self.sweeps += 1
+        return 3, 4, 12.0
+
+    def measure(self, state, rx, tx_beam, rx_beam, rng=None):
+        self.measures += 1
+        pdp = np.zeros(64)
+        pdp[0] = 1.0
+        return StateMeasurement(
+            room_name="fake",
+            tx_beam=tx_beam,
+            rx_beam=rx_beam,
+            snr_db=20.0 + self.measures,  # distinct per call
+            true_snr_db=20.0 + self.measures,
+            noise_dbm=-73.0,
+            tof_ns=30.0,
+            pdp=pdp,
+            cdr=np.full(9, 0.95),
+            throughput_mbps=np.linspace(300, 1500, 9),
+        )
+
+
+def link_with(recorder=None, **injectors) -> FaultyLink:
+    plan = FaultPlan(seed=0, **injectors)
+    if recorder is None:
+        return FaultyLink(FakeLink(), plan)
+    return FaultyLink(FakeLink(), plan, recorder)
+
+
+class TestFaultyLinkSweeps:
+    def test_total_failure_raises_sweep_error(self):
+        link = link_with(sweep_failure=SweepFailure(probability=1.0, partial_fraction=0.0))
+        with pytest.raises(SweepError, match="injected"):
+            link.sector_sweep(None, None)
+        assert link.plan.log.count("sweep_failure") == 1
+
+    def test_partial_sweep_returns_a_random_pair(self):
+        link = link_with(sweep_failure=SweepFailure(probability=1.0, partial_fraction=1.0))
+        tx_beam, rx_beam, snr = link.sector_sweep(None, None)
+        assert 0 <= tx_beam < 8 and 0 <= rx_beam < 8
+        assert snr == 12.0  # the real sweep's SNR: the failure is silent
+        assert link._link.sweeps == 1
+
+    def test_clean_sweep_passes_through(self):
+        link = link_with()
+        assert link.sector_sweep(None, None) == (3, 4, 12.0)
+        assert link.plan.log.count() == 0
+
+
+class TestFaultyLinkMeasurements:
+    def test_ack_loss_zeroes_the_cdr(self):
+        link = link_with(ack_loss=AckLoss(probability=1.0, burst_frames=1))
+        measurement = link.measure(None, None, 0, 0)
+        assert not measurement.cdr.any()
+        assert link.plan.log.count("ack_loss") == 1
+
+    @pytest.mark.parametrize(
+        "mode, check",
+        [
+            ("nan-snr", lambda m: math.isnan(m.snr_db)),
+            ("inf-noise", lambda m: math.isinf(m.noise_dbm)),
+            ("wild-cdr", lambda m: m.snr_db == 500.0),
+            ("negative-tof", lambda m: m.tof_ns < 0),
+            ("nan-pdp", lambda m: math.isnan(m.pdp[0])),
+        ],
+    )
+    def test_corruption_modes_are_caught_by_the_sanitizer(self, mode, check):
+        link = link_with(
+            metric_corruption=MetricCorruption(probability=1.0, modes=(mode,))
+        )
+        measurement = link.measure(None, None, 0, 0)
+        assert check(measurement)
+        feedback = FrameFeedback(
+            snr_db=measurement.snr_db,
+            noise_dbm=measurement.noise_dbm,
+            tof_ns=measurement.tof_ns,
+            pdp=measurement.pdp,
+            cdr=float(measurement.cdr[4]),
+        )
+        assert feedback_rejection(feedback) is not None
+
+    def test_corruption_copies_the_pdp(self):
+        """nan-pdp must not poison the physics' shared PDP array."""
+        link = link_with(
+            metric_corruption=MetricCorruption(probability=1.0, modes=("nan-pdp",))
+        )
+        link.measure(None, None, 0, 0)
+        fresh = link._link.measure(None, None, 0, 0)
+        assert np.isfinite(fresh.pdp).all()
+
+    def test_stale_replay_carries_its_age(self):
+        link = link_with(
+            stale_replay=StaleReplay(probability=1.0, min_age_frames=1, history_frames=4)
+        )
+        first = link.measure(None, None, 0, 0)  # no history yet: clean
+        replayed = link.measure(None, None, 0, 0)
+        assert replayed.snr_db == first.snr_db
+        assert replayed.extra[METRIC_AGE_KEY] == pytest.approx(link.frame_time_s)
+        assert link.plan.log.count("stale_replay") == 1
+
+    def test_clean_measurement_untouched(self):
+        link = link_with()
+        measurement = link.measure(None, None, 0, 0)
+        assert measurement.snr_db == 21.0
+        assert METRIC_AGE_KEY not in measurement.extra
+
+    def test_delegation(self):
+        link = link_with()
+        assert len(link.codebook) == 8
+
+    def test_injections_reach_the_recorder(self):
+        from repro.obs.trace import InMemoryTraceRecorder
+
+        recorder = InMemoryTraceRecorder()
+        link = link_with(
+            recorder, ack_loss=AckLoss(probability=1.0, burst_frames=1)
+        )
+        link.measure(None, None, 0, 0)
+        assert len(recorder.events) == 1
+        event = recorder.events[0].to_dict()
+        assert event["type"] == "fault"
+        assert event["origin"] == "injected"
+        assert event["kind"] == "ack_loss"
+
+
+class TestFaultyClassifier:
+    def test_raise_mode(self):
+        plan = FaultPlan(
+            classifier_fault=ClassifierFault(probability=1.0, raise_fraction=1.0)
+        )
+        model = FaultyClassifier(ThresholdClassifier(), plan)
+        with pytest.raises(RuntimeError, match="injected classifier fault"):
+            model.predict(np.zeros((1, 7)))
+
+    def test_garbage_mode_matches_row_count(self):
+        plan = FaultPlan(
+            classifier_fault=ClassifierFault(probability=1.0, raise_fraction=0.0)
+        )
+        model = FaultyClassifier(ThresholdClassifier(), plan)
+        labels = model.predict(np.zeros((3, 7)))
+        assert list(labels) == ["corrupted-label"] * 3
+
+    def test_clean_path_delegates(self):
+        model = FaultyClassifier(ThresholdClassifier(), FaultPlan())
+        features = FeatureVector(0.5, 1.0, 0.0, 0.95, 0.9, 0.95, 4).to_array()
+        inner = ThresholdClassifier().predict(features.reshape(1, -1))
+        assert list(model.predict(features.reshape(1, -1))) == list(inner)
+
+    def test_hardened_libra_survives_both_modes(self):
+        plan = FaultPlan(classifier_fault=ClassifierFault(probability=1.0))
+        policy = LiBRA(FaultyClassifier(ThresholdClassifier(), plan))
+        observation = Observation(
+            features=FeatureVector(5.0, 0.0, 0.0, 0.9, 0.8, 0.5, 4),
+            ack_missing=False,
+            current_mcs=4,
+            current_mcs_working=True,
+            ba_overhead_s=5e-3,
+        )
+        for _ in range(20):  # hits both raise and garbage draws
+            decision = policy.decide(observation)
+            assert decision.fallback
+            assert decision.action is Action.BA  # missing-ACK rule at MCS 4
+
+
+class RecordingPolicy(LinkAdaptationPolicy):
+    """Remembers every observation it was asked about."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.seen = []
+
+    def reset(self) -> None:
+        self.seen.clear()
+
+    def decide(self, observation: Observation) -> PolicyDecision:
+        self.seen.append(observation)
+        return PolicyDecision(Action.NA, "recorded")
+
+
+def make_observation(snr_diff=5.0, mcs=4) -> Observation:
+    return Observation(
+        features=FeatureVector(snr_diff, 0.0, 0.0, 0.9, 0.8, 0.5, mcs),
+        ack_missing=False,
+        current_mcs=mcs,
+        current_mcs_working=True,
+        ba_overhead_s=5e-3,
+    )
+
+
+class TestFaultyPolicy:
+    def test_ack_loss_degrades_the_observation(self):
+        inner = RecordingPolicy()
+        policy = FaultyPolicy(
+            inner, FaultPlan(ack_loss=AckLoss(probability=1.0, burst_frames=1))
+        )
+        policy.decide(make_observation())
+        assert inner.seen[0].ack_missing
+        assert inner.seen[0].features is None
+
+    def test_stale_replay_substitutes_previous_features(self):
+        inner = RecordingPolicy()
+        policy = FaultyPolicy(
+            inner,
+            FaultPlan(
+                stale_replay=StaleReplay(probability=1.0, min_age_frames=1)
+            ),
+        )
+        policy.decide(make_observation(snr_diff=1.0))
+        policy.decide(make_observation(snr_diff=9.0))
+        assert inner.seen[1].features.snr_diff_db == 1.0  # the replay
+
+    def test_corruption_poisons_one_feature(self):
+        inner = RecordingPolicy()
+        policy = FaultyPolicy(
+            inner,
+            FaultPlan(
+                metric_corruption=MetricCorruption(
+                    probability=1.0, modes=("wild-cdr",)
+                )
+            ),
+        )
+        policy.decide(make_observation())
+        assert inner.seen[0].features.cdr == 37.5
+
+    def test_clean_plan_passes_observations_verbatim(self):
+        inner = RecordingPolicy()
+        policy = FaultyPolicy(inner, FaultPlan())
+        observation = make_observation()
+        policy.decide(observation)
+        assert inner.seen[0] is observation
+
+    def test_reset_clears_replay_memory(self):
+        inner = RecordingPolicy()
+        policy = FaultyPolicy(
+            inner,
+            FaultPlan(stale_replay=StaleReplay(probability=1.0, min_age_frames=1)),
+        )
+        policy.decide(make_observation(snr_diff=1.0))
+        policy.reset()
+        policy.decide(make_observation(snr_diff=9.0))
+        # No previous features survived the reset: nothing to replay.
+        assert inner.seen[-1].features.snr_diff_db == 9.0
+
+    def test_hardened_libra_absorbs_the_poison(self):
+        plan = FaultPlan(
+            metric_corruption=MetricCorruption(probability=1.0, modes=("nan-snr",))
+        )
+        policy = FaultyPolicy(LiBRA(ThresholdClassifier()), plan)
+        decision = policy.decide(make_observation(mcs=4))
+        assert decision.fallback
+        assert decision.action is Action.BA

@@ -27,6 +27,39 @@ class TestNoAckProbability:
         assert all(a >= b for a, b in zip(probs, probs[1:]))
 
 
+class TestNoAckEdgeCases:
+    """The CDR extremes and degenerate frames (robustness satellites)."""
+
+    def test_cdr_exactly_zero_means_certain_loss(self):
+        from repro.phy.error_model import codeword_delivery_ratio
+
+        snr = -20.0  # far below any waterfall: CDR saturates at 0
+        assert codeword_delivery_ratio(snr, 8) == 0.0
+        assert no_ack_probability(snr, 8, X60_FRAME) == 1.0
+
+    def test_cdr_exactly_one_means_certain_ack(self):
+        from repro.phy.error_model import codeword_delivery_ratio
+
+        snr = 60.0  # far above the waterfall: CDR saturates at 1
+        assert codeword_delivery_ratio(snr, 0) == 1.0
+        assert no_ack_probability(snr, 0, X60_FRAME) == 0.0
+
+    def test_probability_stays_in_unit_interval(self):
+        single = FrameConfig(2e-3, slots=1, codewords_per_slot=1)
+        for snr in np.linspace(-20.0, 40.0, 61):
+            p = no_ack_probability(float(snr), 4, single)
+            assert 0.0 <= p <= 1.0
+
+    @pytest.mark.parametrize("slots, codewords", [(0, 10), (1, 0), (0, 0)])
+    def test_zero_codeword_frames_rejected(self, slots, codewords):
+        with pytest.raises(ValueError, match=">= 1"):
+            FrameConfig(2e-3, slots=slots, codewords_per_slot=codewords)
+
+    def test_deterministic_mode_at_the_extremes(self):
+        assert ack_received(60.0, 0, X60_FRAME)       # p_no_ack = 0
+        assert not ack_received(-20.0, 8, X60_FRAME)  # p_no_ack = 1
+
+
 class TestAckReceived:
     def test_deterministic_mode(self):
         assert ack_received(30.0, 5, X60_FRAME)

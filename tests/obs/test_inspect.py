@@ -75,3 +75,56 @@ class TestSummarizeTrace:
         text = "\n".join(summarize_trace(events))
         assert "recovery delay (ms):" in text
         assert "#" in text
+
+
+class TestFaultBlock:
+    """The injected-vs-natural breakdown from fault events."""
+
+    def _events(self):
+        from repro.obs.events import FaultEvent
+
+        return _dicts(
+            [
+                FaultEvent("injected", "ack_loss", 0.1),
+                FaultEvent("injected", "ack_loss", 0.2),
+                FaultEvent("injected", "metric_corruption", 0.3, "nan-snr"),
+                FaultEvent("natural", "ack-missing", 0.4),
+                FaultEvent("sanitizer", "metrics-rejected", 0.5, "non-finite SNR"),
+                FaultEvent("policy", "fallback-decision", 0.6),
+                FaultEvent("policy", "recovery", 0.7, recovered=True),
+                FaultEvent("natural", "recovery", 0.8, recovered=False),
+            ]
+        )
+
+    def test_injected_vs_observed_totals(self):
+        text = "\n".join(summarize_trace(self._events()))
+        assert "fault events: 8" in text
+        assert "injected: 3, observed downstream: 3" in text
+
+    def test_per_origin_mixes(self):
+        text = "\n".join(summarize_trace(self._events()))
+        assert "ack_loss ×2" in text
+        assert "metric_corruption ×1" in text
+        assert "ack-missing ×1" in text
+        assert "metrics-rejected ×1" in text
+
+    def test_recovery_rate(self):
+        text = "\n".join(summarize_trace(self._events()))
+        assert "recoveries: 2 (50% back on a working MCS)" in text
+
+    def test_fault_block_absent_without_fault_events(self):
+        text = "\n".join(summarize_trace(_dicts([make_flow_event()])))
+        assert "fault events" not in text
+
+    def test_fault_events_round_trip_through_a_file(self, tmp_path):
+        from repro.obs.events import FaultEvent
+        from repro.obs.trace import JsonlTraceRecorder, read_trace
+
+        path = tmp_path / "trace.jsonl"
+        recorder = JsonlTraceRecorder(path)
+        recorder.record(FaultEvent("injected", "ack_loss", 0.1))
+        recorder.record(FaultEvent("natural", "recovery", 0.2, recovered=True))
+        recorder.close()
+        text = "\n".join(summarize_trace(read_trace(path)))
+        assert "fault events: 2" in text
+        assert "recoveries: 1 (100% back on a working MCS)" in text
