@@ -40,6 +40,17 @@ def _fail(message: str) -> int:
     return 2
 
 
+def _worker_count(value: str) -> int:
+    """argparse type for ``--workers``: a positive integer."""
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if workers < 1:
+        raise argparse.ArgumentTypeError("workers must be >= 1")
+    return workers
+
+
 def _add_obs_flags(parser) -> None:
     parser.add_argument(
         "--trace", metavar="PATH",
@@ -79,6 +90,11 @@ def _add_dataset_parser(subparsers) -> None:
         "--resume", action="store_true",
         help="load matching checkpoints from --checkpoint-dir instead of rebuilding",
     )
+    parser.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes for the campaign (1 = in-process); the "
+        "dataset is byte-identical at every worker count",
+    )
     _add_obs_flags(parser)
 
 
@@ -102,6 +118,11 @@ def _add_evaluate_parser(subparsers) -> None:
     parser.add_argument("--ba-overhead-ms", type=float, default=5.0)
     parser.add_argument("--fat-ms", type=float, default=2.0)
     parser.add_argument("--flow-s", type=float, default=1.0)
+    parser.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes for the replay (1 = in-process); results "
+        "are identical at every worker count",
+    )
     _add_obs_flags(parser)
 
 
@@ -214,6 +235,7 @@ def _cmd_dataset(args) -> int:
         dataset = build(
             config, metrics=registry,
             checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+            workers=args.workers,
         )
     print(f"{args.campaign} campaign: {len(dataset)} entries")
     for scenario, row in dataset.summary().items():
@@ -257,14 +279,38 @@ def _cmd_train(args) -> int:
     return 0
 
 
+def _evaluate_entries(
+    entries, metrics, recorder, *, policies, config, flow_s
+) -> dict[str, list[float]]:
+    """Replay a contiguous run of entries; returns per-policy byte gaps.
+
+    Module-level so the parallel runtime can ship it to worker
+    processes; flow replay is deterministic, so sharding the entry list
+    cannot change the concatenated gap arrays.
+    """
+    from repro.sim.engine import simulate_flow
+    from repro.sim.oracle import OracleData
+
+    oracle = OracleData(config, flow_s)
+    gaps: dict[str, list[float]] = {name: [] for name in policies}
+    for entry in entries:
+        best = simulate_flow(oracle, entry, config, flow_s, recorder, metrics)
+        for name, policy in policies.items():
+            result = simulate_flow(policy, entry, config, flow_s, recorder, metrics)
+            gaps[name].append((best.bytes_delivered - result.bytes_delivered) / 1e6)
+    return gaps
+
+
 def _cmd_evaluate(args) -> int:
+    import functools
+
     from repro.core.libra import LiBRA
     from repro.core.policies import BAFirstPolicy, RAFirstPolicy
     from repro.dataset.io import load_dataset
     from repro.ml.persistence import load_forest
     from repro.obs.metrics import use_metrics
-    from repro.sim.engine import SimulationConfig, simulate_flow
-    from repro.sim.oracle import OracleData
+    from repro.runtime import parallel_map, shard_items
+    from repro.sim.engine import SimulationConfig
 
     try:
         dataset = load_dataset(args.dataset).without_na()
@@ -284,20 +330,19 @@ def _cmd_evaluate(args) -> int:
         recorder, registry = _make_obs(args)
     except OSError as exc:
         return _fail(f"cannot write trace '{args.trace}': {exc}")
-    oracle = OracleData(config, args.flow_s)
-    gaps = {name: [] for name in policies}
+    task = functools.partial(
+        _evaluate_entries, policies=policies, config=config, flow_s=args.flow_s
+    )
     with use_metrics(registry), registry.span("evaluate.replay"):
-        for entry in dataset:
-            best = simulate_flow(
-                oracle, entry, config, args.flow_s, recorder, registry
-            )
-            for name, policy in policies.items():
-                result = simulate_flow(
-                    policy, entry, config, args.flow_s, recorder, registry
-                )
-                gaps[name].append(
-                    (best.bytes_delivered - result.bytes_delivered) / 1e6
-                )
+        shards = shard_items(list(dataset), max(args.workers, 1))
+        shard_gaps = parallel_map(
+            task, shards, workers=args.workers, metrics=registry,
+            recorder=recorder,
+        )
+    gaps = {name: [] for name in policies}
+    for partial_gaps in shard_gaps:
+        for name, values in partial_gaps.items():
+            gaps[name].extend(values)
     print(
         f"{len(dataset)} impairments, BA overhead {args.ba_overhead_ms:g} ms, "
         f"FAT {args.fat_ms:g} ms, {args.flow_s:g} s flows:"

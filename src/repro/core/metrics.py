@@ -102,7 +102,7 @@ def tof_difference_ns(initial_tof_ns: float, current_tof_ns: float) -> float:
     if math.isinf(initial_tof_ns) or math.isinf(current_tof_ns):
         return TOF_INF_SENTINEL_NS
     diff = initial_tof_ns - current_tof_ns
-    return float(np.clip(diff, -TOF_DIFF_CLIP_NS, TOF_DIFF_CLIP_NS))
+    return min(TOF_DIFF_CLIP_NS, max(-TOF_DIFF_CLIP_NS, diff))
 
 
 def compute_features(

@@ -17,6 +17,7 @@ off-axis where a beam switch pays off.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -42,6 +43,7 @@ from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.phy.blockage import BLOCKER_PATH_FRACTIONS, make_blocker
 from repro.phy.interference import Interferer
 from repro.phy.noise import NoiseModel
+from repro.runtime import child_rng, parallel_map
 from repro.testbed.x60 import PDP_BIN_NOISE_STD, SNR_JITTER_STD_DB, X60Link
 
 NEAR_AXIS_PROBABILITY = 0.5
@@ -147,6 +149,10 @@ def _na_entry(
     if first.best_mcs() is None:
         return None
     state_b = link.channel_state(rx, blockers, interferer, rng)
+    if "_pair_gains" in state_a.extra_fields:
+        # Same geometry, hence the same rays: the second capture can reuse
+        # the gain rows the first capture's sweep cached.
+        state_b.extra_fields["_pair_gains"] = state_a.extra_fields["_pair_gains"]
     second = link.measure(state_b, rx, tx_beam, rx_beam, rng)
     features = compute_features(first, second)
     return DatasetEntry(
@@ -307,12 +313,48 @@ def _build_interference(
                 dataset.append(na)
 
 
+def _build_plan(
+    item: tuple[int, PlacementPlan],
+    metrics: MetricsRegistry,
+    recorder,
+    *,
+    config: DatasetBuildConfig,
+) -> list[DatasetEntry]:
+    """Runtime task: measure one placement plan on its own RNG stream.
+
+    The stream is a pure function of ``(config.seed, plan_index)`` and
+    the builder's stream domain — never of the worker or shard that runs
+    the plan — so the entries are identical whether plans run inline, in
+    a pool, or resume from a checkpoint.
+    """
+    index, plan = item
+    rng = child_rng(config.seed, index, domain=_PLAN_STREAM_DOMAIN)
+    dataset = Dataset(name=plan.room.name)
+    with metrics.span("dataset.plan"):
+        for track in plan.displacement_tracks:
+            with metrics.span("dataset.displacement"):
+                _build_displacement(plan, track, config, rng, dataset)
+        for position in plan.impairment_positions:
+            with metrics.span("dataset.blockage"):
+                _build_blockage(plan, position, config, rng, dataset)
+            with metrics.span("dataset.interference"):
+                _build_interference(plan, position, config, rng, dataset)
+    return dataset.entries
+
+
+_PLAN_STREAM_DOMAIN = 8
+"""The builder's :func:`repro.runtime.child_rng` stream domain.  Part of
+the campaign definition: changing it redraws every plan's randomness, so
+it is baked into the checkpoint fingerprint below."""
+
+
 def _config_fingerprint(config: DatasetBuildConfig, name: str) -> dict:
     """What a checkpoint must match to be reusable: every knob that changes
     the campaign's entries or its RNG stream."""
     gt = config.ground_truth
     return {
         "name": name,
+        "rng": f"per-plan/{_PLAN_STREAM_DOMAIN}",
         "seed": config.seed,
         "displacement_reps": config.displacement_reps,
         "blockage_reps": config.blockage_reps,
@@ -334,6 +376,7 @@ def build_dataset(
     metrics: MetricsRegistry = NULL_METRICS,
     checkpoint_dir: Optional[str | Path] = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> Dataset:
     """Run the full measurement campaign over the given plans.
 
@@ -342,53 +385,52 @@ def build_dataset(
     ``dataset.interference`` — plus per-room entry counters, so slow
     campaigns show where the time went.
 
+    Every plan draws from its own ``SeedSequence((seed, plan_index))``
+    stream, so the campaign is byte-identical at every ``workers`` value
+    (``workers > 1`` fans plans out to a process pool via
+    :func:`repro.runtime.parallel_map`) and a resumed run measures
+    exactly what an uninterrupted one would.
+
     With a ``checkpoint_dir``, each completed placement plan is persisted
-    atomically (entries *and* the post-plan RNG state); with ``resume``
-    additionally set, plans whose checkpoint matches the build
-    configuration are loaded and the RNG fast-forwarded, so the remaining
-    plans measure exactly what an uninterrupted run would have — the
-    resumed dataset is byte-identical when saved.
+    atomically; with ``resume`` additionally set, plans whose checkpoint
+    matches the build configuration are loaded instead of re-measured —
+    the resumed dataset is byte-identical when saved.
     """
     from repro.dataset.io import entry_from_dict, entry_to_dict
 
     config = config or DatasetBuildConfig()
-    rng = np.random.default_rng(config.seed)
     dataset = Dataset(name=name)
     store = None if checkpoint_dir is None else CheckpointStore(checkpoint_dir)
     fingerprint = _config_fingerprint(config, name)
+    keys = [f"plan-{index:03d}-{plan.room.name}" for index, plan in enumerate(plans)]
+    plan_entries: dict[int, list[DatasetEntry]] = {}
+    pending: list[tuple[int, PlacementPlan]] = []
     for index, plan in enumerate(plans):
-        key = f"plan-{index:03d}-{plan.room.name}"
         if store is not None and resume:
-            payload = store.load(key)
+            payload = store.load(keys[index])
             if payload is not None and payload.get("config") == fingerprint:
-                for record in payload.get("entries", []):
-                    dataset.append(entry_from_dict(record, context=f"checkpoint {key}"))
-                rng.bit_generator.state = payload["rng_state"]
+                plan_entries[index] = [
+                    entry_from_dict(record, context=f"checkpoint {keys[index]}")
+                    for record in payload.get("entries", [])
+                ]
                 if metrics.enabled:
                     metrics.counter("dataset.plans_resumed").inc()
                 continue
-        before_plan = len(dataset)
-        with metrics.span("dataset.plan"):
-            for track in plan.displacement_tracks:
-                with metrics.span("dataset.displacement"):
-                    _build_displacement(plan, track, config, rng, dataset)
-            for position in plan.impairment_positions:
-                with metrics.span("dataset.blockage"):
-                    _build_blockage(plan, position, config, rng, dataset)
-                with metrics.span("dataset.interference"):
-                    _build_interference(plan, position, config, rng, dataset)
+        pending.append((index, plan))
+    task = functools.partial(_build_plan, config=config)
+    results = parallel_map(task, pending, workers=workers, metrics=metrics)
+    for (index, plan), entries in zip(pending, results):
+        plan_entries[index] = entries
         if store is not None:
-            store.save(key, {
+            store.save(keys[index], {
                 "config": fingerprint,
-                "rng_state": rng.bit_generator.state,
-                "entries": [
-                    entry_to_dict(entry) for entry in dataset.entries[before_plan:]
-                ],
+                "entries": [entry_to_dict(entry) for entry in entries],
             })
         if metrics.enabled:
-            metrics.counter(f"dataset.entries.{plan.room.name}").inc(
-                len(dataset) - before_plan
-            )
+            metrics.counter(f"dataset.entries.{plan.room.name}").inc(len(entries))
+    for index in range(len(plans)):
+        for entry in plan_entries[index]:
+            dataset.append(entry)
     if metrics.enabled:
         metrics.counter("dataset.entries").inc(len(dataset))
     return dataset
@@ -399,11 +441,12 @@ def build_main_dataset(
     metrics: MetricsRegistry = NULL_METRICS,
     checkpoint_dir: Optional[str | Path] = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> Dataset:
     """The main/training dataset (Table 1): six main-building environments."""
     return build_dataset(
         main_building_plans(), config, name="main", metrics=metrics,
-        checkpoint_dir=checkpoint_dir, resume=resume,
+        checkpoint_dir=checkpoint_dir, resume=resume, workers=workers,
     )
 
 
@@ -412,10 +455,11 @@ def build_testing_dataset(
     metrics: MetricsRegistry = NULL_METRICS,
     checkpoint_dir: Optional[str | Path] = None,
     resume: bool = False,
+    workers: int = 1,
 ) -> Dataset:
     """The cross-building testing dataset (Table 2): buildings 1 and 2."""
     config = config or DatasetBuildConfig(seed=1)
     return build_dataset(
         testing_building_plans(), config, name="testing", metrics=metrics,
-        checkpoint_dir=checkpoint_dir, resume=resume,
+        checkpoint_dir=checkpoint_dir, resume=resume, workers=workers,
     )

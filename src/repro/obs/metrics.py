@@ -128,6 +128,28 @@ class Histogram:
             "p99": self.quantile(0.99),
         }
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (count/sum/min/max exact; the merged
+        reservoir is re-thinned, so quantiles stay bounded-memory
+        estimates).  Used by the parallel runtime to absorb per-worker
+        registries."""
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.minimum is None or (
+            other.minimum is not None and other.minimum < self.minimum
+        ):
+            self.minimum = other.minimum
+        if self.maximum is None or (
+            other.maximum is not None and other.maximum > self.maximum
+        ):
+            self.maximum = other.maximum
+        self._samples.extend(other._samples)
+        while len(self._samples) >= self._max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
 
 class _NullInstrument:
     """Shared do-nothing counter/gauge/histogram."""
@@ -155,6 +177,9 @@ class _NullInstrument:
 
     def percentiles(self) -> dict[str, float]:
         return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def merge(self, other) -> None:
+        pass
 
 
 _NULL_INSTRUMENT = _NullInstrument()
@@ -277,6 +302,23 @@ class MetricsRegistry:
                     f"{p['p50']:.4g} / {p['p95']:.4g} / {p['p99']:.4g}"
                 )
         return lines or ["(no metrics recorded)"]
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one.
+
+        Counters add, gauges take the other registry's value (last write
+        wins, matching sequential semantics when merges happen in item
+        order), histograms merge count/sum/min/max exactly.  The parallel
+        runtime calls this once per worker result, in submission order,
+        so merged aggregates are independent of the worker count.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, histogram in other._histograms.items():
+            self.histogram(name).merge(histogram)
+        self._span_names.update(other._span_names)
 
     def slowest_spans(self, top: int = 5) -> list[tuple[str, float, int]]:
         """Span histograms ranked by total recorded seconds."""

@@ -111,18 +111,44 @@ class Beam:
         peak_db = self.peak_gain_dbi + level_db
         return 10.0 ** (peak_db / 10.0) * math.exp(exponent)
 
-    def gain_dbi_array(self, angles_deg: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`gain_dbi` over an array of angles."""
-        angles = np.atleast_1d(np.asarray(angles_deg, dtype=float))
-        total = np.full(angles.shape, 10.0 ** (SIDE_LOBE_FLOOR_DBI / 10.0))
-        total += self._lobe_power_array(angles, self.steering_deg, self.beamwidth_deg, 0.0)
-        for lobe in self.side_lobes:
-            total += self._lobe_power_array(
-                angles,
-                self.steering_deg + lobe.offset_deg,
-                lobe.width_deg,
-                lobe.level_db,
+    def _lobe_columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-lobe (centers, widths, linear peaks), main lobe first.
+
+        Cached on the (frozen) beam so repeated pattern evaluations pay the
+        Python-level lobe bookkeeping once.
+        """
+        cached = getattr(self, "_lobe_cols", None)
+        if cached is None:
+            centers = [self.steering_deg] + [
+                self.steering_deg + lobe.offset_deg for lobe in self.side_lobes
+            ]
+            widths = [self.beamwidth_deg] + [l.width_deg for l in self.side_lobes]
+            peaks_db = [self.peak_gain_dbi] + [
+                self.peak_gain_dbi + l.level_db for l in self.side_lobes
+            ]
+            cached = (
+                np.array(centers),
+                np.array(widths),
+                10.0 ** (np.array(peaks_db) / 10.0),
             )
+            object.__setattr__(self, "_lobe_cols", cached)
+        return cached
+
+    def gain_dbi_array(self, angles_deg: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`gain_dbi` over an array of angles.
+
+        All lobes are evaluated in one (lobes, angles) broadcast, then
+        accumulated in the same main-then-side-lobes order as
+        :meth:`gain_dbi` so values match the scalar path bit for bit.
+        """
+        angles = np.atleast_1d(np.asarray(angles_deg, dtype=float))
+        centers, widths, peaks_lin = self._lobe_columns()
+        delta = np.mod(angles[None, :] - centers[:, None] + 180.0, 360.0) - 180.0
+        exponent = -math.log(2.0) * (2.0 * delta / widths[:, None]) ** 2
+        lobe_powers = peaks_lin[:, None] * np.exp(exponent)
+        total = np.full(angles.shape, 10.0 ** (SIDE_LOBE_FLOOR_DBI / 10.0))
+        for row in lobe_powers:
+            total += row
         gains = 10.0 * np.log10(total)
         if self.ripple_amp_db != 0.0:
             gains = gains + self.ripple_amp_db * np.sin(
@@ -147,6 +173,7 @@ class Codebook:
         if not beams:
             raise ValueError("codebook must contain at least one beam")
         self.beams = beams
+        self._patterns: tuple[np.ndarray, ...] | None = None
 
     def __len__(self) -> int:
         return len(self.beams)
@@ -157,14 +184,67 @@ class Codebook:
     def __iter__(self):
         return iter(self.beams)
 
+    def _pattern_arrays(self) -> tuple[np.ndarray, ...]:
+        """Columnar view of every beam's lobes, built once per codebook.
+
+        Beams have differing side-lobe counts; short rows are padded with
+        zero-power lobes (linear peak 0.0) so the padded slots contribute
+        exactly nothing to the accumulated pattern.
+        """
+        if self._patterns is None:
+            n_lobes = 1 + max(len(b.side_lobes) for b in self.beams)
+            shape = (len(self.beams), n_lobes)
+            centers = np.zeros(shape)
+            widths = np.ones(shape)
+            peaks_lin = np.zeros(shape)
+            for i, beam in enumerate(self.beams):
+                centers[i, 0] = beam.steering_deg
+                widths[i, 0] = beam.beamwidth_deg
+                peaks_lin[i, 0] = 10.0 ** (beam.peak_gain_dbi / 10.0)
+                for j, lobe in enumerate(beam.side_lobes, start=1):
+                    centers[i, j] = beam.steering_deg + lobe.offset_deg
+                    widths[i, j] = lobe.width_deg
+                    peaks_lin[i, j] = 10.0 ** ((beam.peak_gain_dbi + lobe.level_db) / 10.0)
+            ripple_amp = np.array([b.ripple_amp_db for b in self.beams])
+            ripple_period = np.array([b.ripple_period_deg for b in self.beams])
+            ripple_phase = np.array([b.ripple_phase_rad for b in self.beams])
+            self._patterns = (
+                centers, widths, peaks_lin, ripple_amp, ripple_period, ripple_phase
+            )
+        return self._patterns
+
     def gain_matrix_dbi(self, angles_deg: np.ndarray) -> np.ndarray:
         """Gain of every beam toward every angle: shape (n_beams, n_angles).
 
         This is the workhorse of the vectorised sector sweep: one call per
-        antenna covers all 25 beams x all rays.
+        antenna covers all 25 beams x all rays.  Computed columnar over the
+        precomputed lobe arrays — one broadcast per lobe slot, accumulated
+        in the same order as :meth:`Beam.gain_dbi_array`, so the values are
+        bit-identical to the per-beam path.
         """
         angles = np.atleast_1d(np.asarray(angles_deg, dtype=float))
-        return np.stack([beam.gain_dbi_array(angles) for beam in self.beams])
+        centers, widths, peaks_lin, ripple_amp, ripple_period, ripple_phase = (
+            self._pattern_arrays()
+        )
+        # One (beams, slots, angles) broadcast evaluates every lobe at once;
+        # the slot-order accumulation loop is kept so the floating-point sum
+        # matches the per-beam path exactly.
+        delta = (
+            np.mod(angles[None, None, :] - centers[:, :, None] + 180.0, 360.0) - 180.0
+        )
+        exponent = -math.log(2.0) * (2.0 * delta / widths[:, :, None]) ** 2
+        lobe_powers = peaks_lin[:, :, None] * np.exp(exponent)
+        total = np.full(
+            (len(self.beams), angles.size), 10.0 ** (SIDE_LOBE_FLOOR_DBI / 10.0)
+        )
+        for slot in range(lobe_powers.shape[1]):
+            total += lobe_powers[:, slot, :]
+        gains = 10.0 * np.log10(total)
+        gains = gains + ripple_amp[:, None] * np.sin(
+            2.0 * np.pi * angles[None, :] / ripple_period[:, None]
+            + ripple_phase[:, None]
+        )
+        return gains
 
     def beam_closest_to(self, angle_deg: float) -> Beam:
         """The beam whose steering angle is nearest ``angle_deg``."""

@@ -56,7 +56,13 @@ class Ray:
 
     @property
     def delay_ns(self) -> float:
-        return self.delay_s * 1e9
+        # Cached: rays are shared via the trace cache, and the PDP builder
+        # touches every ray's delay once per measured state.
+        cached = self.__dict__.get("_delay_ns")
+        if cached is None:
+            cached = self.delay_s * 1e9
+            object.__setattr__(self, "_delay_ns", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -154,16 +160,22 @@ def _los_ray(geometry: LinkGeometry) -> Optional[Ray]:
 
 
 def _first_order_ray(
-    geometry: LinkGeometry, wall: Segment
+    geometry: LinkGeometry, wall: Segment, room_obstacles: Optional[list[Segment]] = None
 ) -> Optional[Ray]:
-    """Single-bounce ray off ``wall`` using the image method."""
+    """Single-bounce ray off ``wall`` using the image method.
+
+    ``room_obstacles`` lets :func:`trace_rays` hoist the
+    ``room.obstacles()`` list out of the per-wall loop.
+    """
     tx, rx = geometry.tx_position, geometry.rx_position
     image = mirror_point(tx, wall)
     hit = segment_intersection(image, rx, wall.a, wall.b)
     if hit is None:
         return None
+    if room_obstacles is None:
+        room_obstacles = geometry.room.obstacles()
     # Both sub-paths must be clear of other clutter.
-    obstacles = [s for s in geometry.room.obstacles() if s is not wall]
+    obstacles = [s for s in room_obstacles if s is not wall]
     if not path_is_clear(tx, hit, obstacles):
         return None
     if not path_is_clear(hit, rx, obstacles):
@@ -185,11 +197,21 @@ def _first_order_ray(
 
 
 def _second_order_ray(
-    geometry: LinkGeometry, wall1: Segment, wall2: Segment
+    geometry: LinkGeometry,
+    wall1: Segment,
+    wall2: Segment,
+    room_obstacles: Optional[list[Segment]] = None,
+    image1: Optional[Point] = None,
 ) -> Optional[Ray]:
-    """Double-bounce ray: Tx → wall1 → wall2 → Rx via nested images."""
+    """Double-bounce ray: Tx → wall1 → wall2 → Rx via nested images.
+
+    ``room_obstacles`` and ``image1`` (the Tx mirrored across ``wall1``)
+    let :func:`trace_rays` hoist per-wall-pair recomputation out of the
+    O(walls²) loop.
+    """
     tx, rx = geometry.tx_position, geometry.rx_position
-    image1 = mirror_point(tx, wall1)
+    if image1 is None:
+        image1 = mirror_point(tx, wall1)
     image2 = mirror_point(image1, wall2)
     hit2 = segment_intersection(image2, rx, wall2.a, wall2.b)
     if hit2 is None:
@@ -197,7 +219,9 @@ def _second_order_ray(
     hit1 = segment_intersection(image1, hit2, wall1.a, wall1.b)
     if hit1 is None:
         return None
-    obstacles = [s for s in geometry.room.obstacles() if s is not wall1 and s is not wall2]
+    if room_obstacles is None:
+        room_obstacles = geometry.room.obstacles()
+    obstacles = [s for s in room_obstacles if s is not wall1 and s is not wall2]
     for p1, p2 in ((tx, hit1), (hit1, hit2), (hit2, rx)):
         if not path_is_clear(p1, p2, obstacles):
             return None
@@ -226,17 +250,22 @@ def trace_rays(geometry: LinkGeometry, max_order: int = 2) -> list[Ray]:
     if los is not None:
         rays.append(los)
     reflectors = geometry.room.reflectors()
+    room_obstacles = geometry.room.obstacles()
     if max_order >= 1:
         for wall in reflectors:
-            ray = _first_order_ray(geometry, wall)
+            ray = _first_order_ray(geometry, wall, room_obstacles)
             if ray is not None:
                 rays.append(ray)
     if max_order >= 2:
-        for wall1 in reflectors:
+        tx = geometry.tx_position
+        images1 = [mirror_point(tx, wall) for wall in reflectors]
+        for wall1, image1 in zip(reflectors, images1):
             for wall2 in reflectors:
                 if wall1 is wall2:
                     continue
-                ray = _second_order_ray(geometry, wall1, wall2)
+                ray = _second_order_ray(
+                    geometry, wall1, wall2, room_obstacles, image1
+                )
                 if ray is not None:
                     rays.append(ray)
     rays.sort(key=lambda r: r.loss_db)
@@ -259,17 +288,37 @@ def received_power_dbm(
     """Incoherent sum of per-ray received powers for one beam pair.
 
     Beam gains are evaluated at the ray's AoD/AoA *relative to each array's
-    boresight orientation*.
+    boresight orientation* — one vectorized pattern evaluation per antenna
+    covers every ray.
     """
-    total_mw = 0.0
-    for ray in rays:
-        tx_gain = tx_beam.gain_dbi(ray.aod_deg - tx_orientation_deg)
-        rx_gain = rx_beam.gain_dbi(ray.aoa_deg - rx_orientation_deg)
-        power_dbm = tx_power_dbm + tx_gain + rx_gain - ray.loss_db
-        total_mw += 10.0 ** (power_dbm / 10.0)
+    if not rays:
+        return -300.0
+    powers = _per_ray_powers_array(
+        rays, tx_beam, rx_beam, tx_orientation_deg, rx_orientation_deg, tx_power_dbm
+    )
+    total_mw = float(np.sum(10.0 ** (powers / 10.0)))
     if total_mw <= 0.0:
         return -300.0
     return 10.0 * math.log10(total_mw)
+
+
+def _per_ray_powers_array(
+    rays: Sequence[Ray],
+    tx_beam: Beam,
+    rx_beam: Beam,
+    tx_orientation_deg: float,
+    rx_orientation_deg: float,
+    tx_power_dbm: float,
+) -> np.ndarray:
+    aod = np.array([r.aod_deg - tx_orientation_deg for r in rays])
+    aoa = np.array([r.aoa_deg - rx_orientation_deg for r in rays])
+    loss = np.array([r.loss_db for r in rays])
+    return (
+        tx_power_dbm
+        + tx_beam.gain_dbi_array(aod)
+        + rx_beam.gain_dbi_array(aoa)
+        - loss
+    )
 
 
 def per_ray_received_powers_dbm(
@@ -281,12 +330,12 @@ def per_ray_received_powers_dbm(
     tx_power_dbm: float,
 ) -> list[float]:
     """Per-ray received power (for PDP construction), same order as ``rays``."""
-    powers = []
-    for ray in rays:
-        tx_gain = tx_beam.gain_dbi(ray.aod_deg - tx_orientation_deg)
-        rx_gain = rx_beam.gain_dbi(ray.aoa_deg - rx_orientation_deg)
-        powers.append(tx_power_dbm + tx_gain + rx_gain - ray.loss_db)
-    return powers
+    if not rays:
+        return []
+    powers = _per_ray_powers_array(
+        rays, tx_beam, rx_beam, tx_orientation_deg, rx_orientation_deg, tx_power_dbm
+    )
+    return [float(p) for p in powers]
 
 
 def snr_db(
@@ -322,9 +371,21 @@ def snr_matrix_db(
         return np.full((n, n), -300.0)
     aod = np.array([r.aod_deg - tx_orientation_deg for r in state.rays])
     aoa = np.array([r.aoa_deg - rx_orientation_deg for r in state.rays])
-    amp = 10.0 ** ((tx_power_dbm - np.array([r.loss_db for r in state.rays])) / 10.0)
-    gtx = 10.0 ** (codebook.gain_matrix_dbi(aod) / 10.0)  # (n, R)
-    grx = 10.0 ** (codebook.gain_matrix_dbi(aoa) / 10.0)  # (n, R)
+    loss = np.array([r.loss_db for r in state.rays])
+    amp = 10.0 ** ((tx_power_dbm - loss) / 10.0)
+    # One pattern evaluation over the concatenated AoD/AoA angles covers
+    # both antennas (elementwise, so identical to two separate calls).
+    gm = codebook.gain_matrix_dbi(np.concatenate([aod, aoa]))
+    gtx_dbi = gm[:, : aod.size]  # (n, R)
+    grx_dbi = gm[:, aod.size:]  # (n, R)
+    # Stash the per-(beam, ray) gain rows: a subsequent measure() of any
+    # beam pair on this state reuses them instead of re-evaluating the
+    # patterns (rows are bit-identical to Beam.gain_dbi_array output).
+    state.extra_fields["_pair_gains"] = (
+        tx_orientation_deg, rx_orientation_deg, gtx_dbi, grx_dbi, loss
+    )
+    gtx = 10.0 ** (gtx_dbi / 10.0)
+    grx = 10.0 ** (grx_dbi / 10.0)
     signal_mw = (gtx * amp) @ grx.T  # (n_tx, n_rx)
 
     noise_mw = 10.0 ** (state.noise_dbm / 10.0)

@@ -13,12 +13,17 @@ from __future__ import annotations
 import math
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.constants import (
     WORKING_MCS_MIN_CDR,
     WORKING_MCS_MIN_THROUGHPUT_MBPS,
     X60_MCS_SNR_THRESHOLDS_DB,
     X60_MCS_TABLE,
 )
+
+_THRESHOLDS_DB = np.array(X60_MCS_SNR_THRESHOLDS_DB, dtype=float)
+_PHY_RATES_MBPS = np.array([row[3] for row in X60_MCS_TABLE], dtype=float)
 
 WATERFALL_STEEPNESS_PER_DB = 4.0
 """Logistic steepness: the CER goes ~0.98→0.02 over ±1 dB around threshold.
@@ -89,6 +94,76 @@ def highest_working_mcs(
         if is_working_mcs(snr_db, mcs):
             return mcs
     return None
+
+
+# ---------------------------------------------------------------------------
+# Vectorized (batch) API — same values as the scalar functions above, one
+# array call over any SNR shape x all (or a subset of) MCS indices.
+# ---------------------------------------------------------------------------
+
+
+def phy_rates_mbps() -> np.ndarray:
+    """PHY data rate of every X60 MCS, shape ``(n_mcs,)`` (read-only view)."""
+    return _PHY_RATES_MBPS
+
+
+def codeword_error_rate_array(
+    snr_db,
+    thresholds_db: Sequence[float] = X60_MCS_SNR_THRESHOLDS_DB,
+) -> np.ndarray:
+    """Per-MCS CER for any array of SNRs: shape ``snr.shape + (n_mcs,)``.
+
+    Matches :func:`codeword_error_rate` exactly at the saturation cutoffs
+    (identically 0.0 / 1.0 beyond ±40 steepness units) and to floating-point
+    round-off inside the waterfall.
+    """
+    snr = np.asarray(snr_db, dtype=float)
+    thresholds = np.asarray(thresholds_db, dtype=float)
+    x = WATERFALL_STEEPNESS_PER_DB * (snr[..., None] - thresholds)
+    # Clip before exp only to avoid overflow warnings; the where() masks
+    # reproduce the scalar function's exact 0/1 saturation.
+    inner = 1.0 / (1.0 + np.exp(np.clip(x, -40.0, 40.0)))
+    return np.where(x > 40.0, 0.0, np.where(x < -40.0, 1.0, inner))
+
+
+def codeword_delivery_ratio_array(
+    snr_db,
+    thresholds_db: Sequence[float] = X60_MCS_SNR_THRESHOLDS_DB,
+) -> np.ndarray:
+    """Per-MCS CDR (1 − CER) for any array of SNRs: ``snr.shape + (n_mcs,)``."""
+    return 1.0 - codeword_error_rate_array(snr_db, thresholds_db)
+
+
+def throughput_mbps_array(
+    snr_db,
+    thresholds_db: Sequence[float] = X60_MCS_SNR_THRESHOLDS_DB,
+) -> np.ndarray:
+    """Per-MCS expected throughput for any array of SNRs."""
+    return _PHY_RATES_MBPS * codeword_delivery_ratio_array(snr_db, thresholds_db)
+
+
+def best_throughput_array(
+    snr_db, max_mcs: Optional[int] = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`best_throughput_mcs` over an SNR array.
+
+    Returns ``(mcs, throughput_mbps)`` arrays of ``snr.shape``; dead links
+    carry ``mcs = -1`` and throughput 0.0.  Ties resolve to the lowest MCS,
+    matching the scalar scan's strict-improvement rule.
+    """
+    snr = np.asarray(snr_db, dtype=float)
+    top = len(X60_MCS_TABLE) - 1 if max_mcs is None else max_mcs
+    cdr = codeword_delivery_ratio_array(snr)[..., : top + 1]
+    tput = _PHY_RATES_MBPS[: top + 1] * cdr
+    working = (cdr > WORKING_MCS_MIN_CDR) & (tput > WORKING_MCS_MIN_THROUGHPUT_MBPS)
+    masked = np.where(working, tput, -1.0)
+    best_mcs = np.argmax(masked, axis=-1)
+    best_tput = np.take_along_axis(masked, best_mcs[..., None], axis=-1)[..., 0]
+    dead = best_tput <= 0.0
+    return (
+        np.where(dead, -1, best_mcs),
+        np.where(dead, 0.0, best_tput),
+    )
 
 
 def best_throughput_mcs(

@@ -84,10 +84,14 @@ class InterferenceField:
 
     def power_dbm(self, rx_beam: Beam, rx_orientation_deg: float) -> float:
         """Interference power collected by ``rx_beam``."""
-        total_mw = 0.0
-        for ray in self.rays:
-            gain = rx_beam.gain_dbi(ray.aoa_deg - rx_orientation_deg)
-            total_mw += 10.0 ** ((self.eirp_dbm + gain - ray.loss_db) / 10.0)
+        if not self.rays:
+            return -300.0
+        import numpy as np
+
+        aoa = np.array([ray.aoa_deg - rx_orientation_deg for ray in self.rays])
+        loss = np.array([ray.loss_db for ray in self.rays])
+        gains = rx_beam.gain_dbi_array(aoa)
+        total_mw = float(np.sum(10.0 ** ((self.eirp_dbm + gains - loss) / 10.0)))
         if total_mw <= 0.0:
             return -300.0
         return 10.0 * math.log10(total_mw)
@@ -110,7 +114,9 @@ def required_sinr_for_drop_db(clear_snr_db: float, drop_fraction: float) -> floa
     discrete, like the real calibration ("tried different sectors to
     create 3 levels", §4.2).
     """
-    from repro.phy.error_model import best_throughput_mcs
+    import numpy as np
+
+    from repro.phy.error_model import best_throughput_array, best_throughput_mcs
 
     if not 0.0 <= drop_fraction < 1.0:
         raise ValueError("drop_fraction must be in [0, 1)")
@@ -118,12 +124,21 @@ def required_sinr_for_drop_db(clear_snr_db: float, drop_fraction: float) -> floa
     if base_tput <= 0.0:
         return clear_snr_db  # dead link: nothing to calibrate against
     target = (1.0 - drop_fraction) * base_tput
+    # Build the exact step sequence the scalar scan would visit (repeated
+    # ``-= 0.1`` accumulates float round-off, so generating it any other way
+    # would change the calibration at the last ulp), then evaluate the whole
+    # ladder with one vectorized error-model call.
     sinr = clear_snr_db
+    steps = []
     while sinr > -20.0:
-        _, tput = best_throughput_mcs(sinr)
-        if tput <= target:
-            return sinr
+        steps.append(sinr)
         sinr -= 0.1
+    if not steps:
+        return sinr
+    _, tputs = best_throughput_array(np.array(steps))
+    below = np.nonzero(tputs <= target)[0]
+    if below.size:
+        return steps[int(below[0])]
     return sinr
 
 

@@ -20,6 +20,7 @@ Two reproduction-critical details:
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
@@ -51,13 +52,20 @@ def power_delay_profile(
         return profile
     first_delay = min(ray.delay_ns for ray in rays)
     bin_centres = np.arange(num_bins, dtype=float)
-    for ray, power_dbm in zip(rays, per_ray_power_dbm):
-        excess_bins = (ray.delay_ns - first_delay) / bin_width_ns
-        if excess_bins >= num_bins:
-            continue
-        power_mw = 10.0 ** (power_dbm / 10.0)
-        kernel = np.exp(-0.5 * ((bin_centres - excess_bins) / PDP_TAP_SIGMA_BINS) ** 2)
-        profile += power_mw * kernel
+    excess_bins = (
+        np.array([ray.delay_ns for ray in rays]) - first_delay
+    ) / bin_width_ns
+    keep = excess_bins < num_bins
+    if keep.any():
+        power_mw = 10.0 ** (np.asarray(per_ray_power_dbm, dtype=float)[keep] / 10.0)
+        # One batched kernel evaluation over (rays, bins) replaces the
+        # per-ray Gaussian loop.
+        kernels = np.exp(
+            -0.5
+            * ((bin_centres[None, :] - excess_bins[keep, None]) / PDP_TAP_SIGMA_BINS)
+            ** 2
+        )
+        profile = power_mw @ kernels
     total = profile.sum()
     if total > 0.0:
         profile /= total
@@ -68,7 +76,10 @@ def align_to_strongest_tap(profile: np.ndarray) -> np.ndarray:
     """Circularly shift the profile so its strongest tap sits at bin 0."""
     if profile.size == 0 or profile.max() <= 0.0:
         return profile
-    return np.roll(profile, -int(np.argmax(profile)))
+    shift = int(np.argmax(profile))
+    if shift == 0:
+        return profile
+    return np.concatenate([profile[shift:], profile[:shift]])
 
 
 def fft_pdp(profile: np.ndarray) -> np.ndarray:
@@ -88,10 +99,13 @@ def pearson_similarity(a: np.ndarray, b: np.ndarray) -> float:
         raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
     if a.size < 2:
         return 0.0
-    sa, sb = a.std(), b.std()
-    if sa <= 0.0 or sb <= 0.0:
+    da = a - a.mean()
+    db = b - b.mean()
+    va = float(da @ da)
+    vb = float(db @ db)
+    if va <= 0.0 or vb <= 0.0:
         return 0.0
-    return float(np.corrcoef(a, b)[0, 1])
+    return float(da @ db) / math.sqrt(va * vb)
 
 
 def pdp_similarity(profile_a: np.ndarray, profile_b: np.ndarray) -> float:

@@ -9,6 +9,8 @@ oracle references, byte and delay gap collection — behind one call.
 
 from __future__ import annotations
 
+import dataclasses
+import functools
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -27,6 +29,7 @@ from repro.dataset.entry import Dataset
 from repro.ml.forest import RandomForestClassifier
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
+from repro.runtime import parallel_map
 from repro.sim.engine import SimulationConfig, simulate_flow
 from repro.sim.oracle import OracleData, OracleDelay
 
@@ -180,6 +183,7 @@ class EvaluationGrid:
         recorder: TraceRecorder = NULL_RECORDER,
         checkpoint_dir: Optional[str | Path] = None,
         resume: bool = False,
+        workers: int = 1,
     ) -> list[PointResult]:
         """All points, in order.
 
@@ -189,25 +193,57 @@ class EvaluationGrid:
         instead of recomputed.  Results round-trip through JSON exactly
         (shortest-repr floats), so a killed-and-resumed run produces the
         same numbers as an uninterrupted one.
+
+        ``workers > 1`` fans non-resumed points out to a process pool
+        via :func:`repro.runtime.parallel_map`; each point is already a
+        pure function of its operating point (model training uses a
+        fixed ``random_state``), so results — and, with checkpointing,
+        the persisted bytes — are identical at every worker count.
+        Checkpoints are saved by the parent, in point order.
         """
         store = None if checkpoint_dir is None else CheckpointStore(checkpoint_dir)
         if self.metrics.enabled:
             self.metrics.gauge("sweep.points_total").set(len(points))
-        results: list[PointResult] = []
+        by_index: dict[int, PointResult] = {}
+        pending: list[tuple[int, OperatingPoint]] = []
         for index, point in enumerate(points):
-            key = f"point-{index:04d}"
             if store is not None and resume:
-                payload = store.load(key)
+                payload = store.load(f"point-{index:04d}")
                 if payload is not None and payload.get("point") == _point_to_dict(point):
-                    results.append(_point_result_from_dict(point, payload))
+                    by_index[index] = _point_result_from_dict(point, payload)
                     if self.metrics.enabled:
                         self.metrics.counter("sweep.points_resumed").inc()
                     continue
-            result = self.run_point(point, recorder)
+            pending.append((index, point))
+        if workers <= 1:
+            computed = [
+                self.run_point(point, recorder) for _, point in pending
+            ]
+        else:
+            task = functools.partial(_run_point_task, grid=self)
+            computed = parallel_map(
+                task, pending, workers=workers, metrics=self.metrics,
+                recorder=recorder,
+            )
+        for (index, _), result in zip(pending, computed):
             if store is not None:
-                store.save(key, _point_result_to_dict(result))
-            results.append(result)
-        return results
+                store.save(f"point-{index:04d}", _point_result_to_dict(result))
+            by_index[index] = result
+        return [by_index[index] for index in range(len(points))]
+
+
+def _run_point_task(
+    item: tuple[int, OperatingPoint], metrics: MetricsRegistry, recorder: TraceRecorder,
+    *, grid: EvaluationGrid,
+) -> PointResult:
+    """Runtime task: one operating point in a worker process.
+
+    ``dataclasses.replace`` rebuilds the grid around the worker's own
+    registry (and a fresh model cache) without mutating the parent's.
+    """
+    _, point = item
+    local = dataclasses.replace(grid, metrics=metrics)
+    return local.run_point(point, recorder)
 
 
 def _point_to_dict(point: OperatingPoint) -> dict:

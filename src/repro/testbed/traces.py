@@ -37,15 +37,23 @@ def best_working_mcs(
     from repro.constants import WORKING_MCS_MIN_CDR, WORKING_MCS_MIN_THROUGHPUT_MBPS
 
     top = len(cdr) - 1 if max_mcs is None else max_mcs
+    # Plain-float lists: indexing numpy scalars in this (hot) loop costs
+    # more than the comparison work itself.
+    cdr_list = cdr.tolist() if isinstance(cdr, np.ndarray) else list(cdr)
+    tput_list = (
+        throughput_mbps.tolist()
+        if isinstance(throughput_mbps, np.ndarray)
+        else list(throughput_mbps)
+    )
     best: Optional[int] = None
     best_tput = 0.0
     for mcs in range(top + 1):
-        if cdr[mcs] <= WORKING_MCS_MIN_CDR:
+        if cdr_list[mcs] <= WORKING_MCS_MIN_CDR:
             continue
-        if throughput_mbps[mcs] <= WORKING_MCS_MIN_THROUGHPUT_MBPS:
+        if tput_list[mcs] <= WORKING_MCS_MIN_THROUGHPUT_MBPS:
             continue
-        if throughput_mbps[mcs] > best_tput:
-            best, best_tput = mcs, float(throughput_mbps[mcs])
+        if tput_list[mcs] > best_tput:
+            best, best_tput = mcs, tput_list[mcs]
     return best
 
 

@@ -31,9 +31,12 @@ from repro.phy.channel import (
     best_beam_pair,
     per_ray_received_powers_dbm,
     snr_db as channel_snr_db,
-    trace_rays,
 )
-from repro.phy.error_model import codeword_delivery_ratio, throughput_mbps
+from repro.phy.error_model import (
+    codeword_delivery_ratio_array,
+    phy_rates_mbps,
+)
+from repro.phy.tracing import trace_rays_cached
 from repro.phy.interference import Interferer, calibrate_field, calibrate_field_for_drop
 from repro.phy.noise import NoiseModel
 from repro.phy.pdp import power_delay_profile
@@ -105,14 +108,19 @@ class X60Link:
         rng = rng or np.random.default_rng(0)
         blocker_segments: tuple[Segment, ...] = tuple(b.as_segment() for b in blockers)
         geometry = LinkGeometry(self.room, self.tx.position, rx.position, blocker_segments)
-        rays = trace_rays(geometry, self.max_reflection_order)
+        # Memoized by (room, Tx pose, Rx pose, blockers): repeated states —
+        # the clear/impaired halves of a capture, blockage reps, the SLS —
+        # reuse one traced channel instead of re-running the image method.
+        rays = trace_rays_cached(geometry, self.max_reflection_order)
         noise_dbm = self.noise_model.true_floor_dbm(rng)
         interference_field = None
         if interferer is not None:
             interferer_geometry = LinkGeometry(
                 self.room, interferer.position, rx.position, blocker_segments
             )
-            interferer_rays = trace_rays(interferer_geometry, self.max_reflection_order)
+            interferer_rays = trace_rays_cached(
+                interferer_geometry, self.max_reflection_order
+            )
             if interferer_rays and operating_pair is not None:
                 clean = ChannelState(rays, noise_dbm, None, geometry)
                 tx_beam, rx_beam = operating_pair
@@ -173,6 +181,10 @@ class X60Link:
             signal_state, self.codebook, self.tx.orientation_deg,
             rx.orientation_deg, self.tx_power_dbm,
         )
+        if signal_state is not state and "_pair_gains" in signal_state.extra_fields:
+            # Propagate the cached gain rows to the real (interfered) state
+            # so measure() can reuse them there too.
+            state.extra_fields["_pair_gains"] = signal_state.extra_fields["_pair_gains"]
         if rng is not None and snr_noise_std_db > 0.0:
             measured = matrix + rng.normal(0.0, snr_noise_std_db, matrix.shape)
         else:
@@ -194,6 +206,33 @@ class X60Link:
             self.tx_power_dbm,
         )
 
+    def _per_ray_powers(
+        self, state: ChannelState, rx: RadioPose, tx_beam: int, rx_beam: int
+    ) -> np.ndarray:
+        """Per-ray received powers (dBm) for one beam pair.
+
+        Reuses the per-(beam, ray) gain rows a sector sweep cached on the
+        state when available (bit-identical values), falling back to a
+        direct evaluation otherwise.
+        """
+        cached = state.extra_fields.get("_pair_gains")
+        if cached is not None:
+            txo, rxo, gtx_dbi, grx_dbi, loss = cached
+            if txo == self.tx.orientation_deg and rxo == rx.orientation_deg:
+                return (
+                    self.tx_power_dbm + gtx_dbi[tx_beam] + grx_dbi[rx_beam] - loss
+                )
+        return np.array(
+            per_ray_received_powers_dbm(
+                state.rays,
+                self.codebook[tx_beam],
+                self.codebook[rx_beam],
+                self.tx.orientation_deg,
+                rx.orientation_deg,
+                self.tx_power_dbm,
+            )
+        )
+
     def measure(
         self,
         state: ChannelState,
@@ -204,20 +243,18 @@ class X60Link:
     ) -> StateMeasurement:
         """Capture the full §5.1 record for one state and beam pair."""
         rng = rng or np.random.default_rng(0)
-        true_snr = self.snr_for_pair(state, rx, tx_beam, rx_beam)
+        # Per-ray powers, their incoherent sum (the Rx power), and the
+        # effective noise are each computed once and shared between the SNR,
+        # noise, and PDP parts of the record.
+        per_ray_powers = self._per_ray_powers(state, rx, tx_beam, rx_beam)
+        total_mw = float(np.sum(10.0 ** (per_ray_powers / 10.0)))
+        rx_power_dbm = 10.0 * math.log10(total_mw) if total_mw > 0.0 else -300.0
+        effective_noise = state.effective_noise_dbm(
+            self.codebook[rx_beam], rx.orientation_deg
+        )
+        true_snr = rx_power_dbm - effective_noise
         reported_snr = true_snr + float(rng.normal(0.0, self.snr_jitter_std_db))
-        reported_noise = self.noise_model.reported_level_dbm(
-            state.effective_noise_dbm(self.codebook[rx_beam], rx.orientation_deg), rng
-        )
-
-        per_ray_powers = per_ray_received_powers_dbm(
-            state.rays,
-            self.codebook[tx_beam],
-            self.codebook[rx_beam],
-            self.tx.orientation_deg,
-            rx.orientation_deg,
-            self.tx_power_dbm,
-        )
+        reported_noise = self.noise_model.reported_level_dbm(effective_noise, rng)
         pdp = power_delay_profile(state.rays, per_ray_powers)
         # Hardware PDPs are noisy estimates; per-bin multiplicative noise
         # keeps the multipath metrics informative-but-imperfect (their Gini
@@ -233,10 +270,10 @@ class X60Link:
             dominant = int(np.argmax(per_ray_powers))
             tof_ns = state.rays[dominant].delay_ns
 
-        cdr = np.array(
-            [codeword_delivery_ratio(true_snr, m) for m in range(X60_NUM_MCS)]
-        )
-        tput = np.array([throughput_mbps(true_snr, m) for m in range(X60_NUM_MCS)])
+        # One vectorized call over all MCSs replaces 2 x 9 scalar waterfall
+        # evaluations (same values to floating-point round-off).
+        cdr = codeword_delivery_ratio_array(true_snr)
+        tput = phy_rates_mbps() * cdr
         # 1 s traces are measurements, not expectations: apply run-to-run noise.
         factors = np.exp(rng.normal(0.0, TRACE_TPUT_NOISE_STD, X60_NUM_MCS))
         tput = tput * factors
