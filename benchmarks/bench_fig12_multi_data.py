@@ -12,6 +12,7 @@ Oracle-Data's bytes each policy delivers.  Headline claims:
 import numpy as np
 import pytest
 
+from repro.sim.batch import BatchFlowSimulator
 from repro.sim.engine import SimulationConfig, simulate_timeline
 from repro.sim.oracle import OracleData
 from repro.sim.results import boxplot_stats
@@ -31,6 +32,9 @@ def run_panels(main_dataset, make_libra, heuristics):
     panels = {}
     for overhead, fat in CONFIG_GRID:
         config = SimulationConfig(ba_overhead_s=overhead, frame_time_s=fat)
+        # One batch simulator per config: impaired segments recur across
+        # timelines, so the trajectory/outcome caches amortise the replay.
+        simulator = BatchFlowSimulator(config)
         policies = dict(heuristics)
         policies["LiBRA"] = make_libra(overhead, fat)
         generator = TimelineGenerator(main_dataset, seed=42)
@@ -41,9 +45,13 @@ def run_panels(main_dataset, make_libra, heuristics):
             for timeline in timelines:
                 # The data oracle decides per segment with full knowledge.
                 oracle = OracleData(config, max(s.duration_s for s in timeline.segments))
-                oracle_bytes, _, _ = simulate_timeline(oracle, timeline, config)
+                oracle_bytes, _, _ = simulate_timeline(
+                    oracle, timeline, config, simulator=simulator
+                )
                 for name, policy in policies.items():
-                    policy_bytes, _, _ = simulate_timeline(policy, timeline, config)
+                    policy_bytes, _, _ = simulate_timeline(
+                        policy, timeline, config, simulator=simulator
+                    )
                     ratios[name].append(
                         policy_bytes / oracle_bytes if oracle_bytes > 0 else 1.0
                     )

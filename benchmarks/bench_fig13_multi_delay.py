@@ -13,6 +13,7 @@ delay`` over 50 timelines per scenario.  Headline claims:
 import numpy as np
 import pytest
 
+from repro.sim.batch import BatchFlowSimulator
 from repro.sim.engine import SimulationConfig, simulate_timeline
 from repro.sim.oracle import OracleDelay
 from repro.sim.results import boxplot_stats
@@ -31,6 +32,8 @@ def run_panels(main_dataset, make_libra, heuristics):
     panels = {}
     for overhead, fat in CONFIG_GRID:
         config = SimulationConfig(ba_overhead_s=overhead, frame_time_s=fat)
+        # Shared batch simulator: segment replays recur across timelines.
+        simulator = BatchFlowSimulator(config)
         policies = dict(heuristics)
         policies["LiBRA"] = make_libra(overhead, fat)
         generator = TimelineGenerator(main_dataset, seed=42)
@@ -40,9 +43,13 @@ def run_panels(main_dataset, make_libra, heuristics):
             gaps = {name: [] for name in policies}
             for timeline in timelines:
                 oracle = OracleDelay(config, 1.0)
-                _, oracle_delay, _ = simulate_timeline(oracle, timeline, config)
+                _, oracle_delay, _ = simulate_timeline(
+                    oracle, timeline, config, simulator=simulator
+                )
                 for name, policy in policies.items():
-                    _, delay, _ = simulate_timeline(policy, timeline, config)
+                    _, delay, _ = simulate_timeline(
+                        policy, timeline, config, simulator=simulator
+                    )
                     gaps[name].append((delay - oracle_delay) * 1e3)
             panel[scenario.value] = {k: np.array(v) for k, v in gaps.items()}
         panels[(overhead, fat)] = panel

@@ -126,6 +126,17 @@ def main(argv=None) -> int:
         help="exit non-zero unless dataset_build and rf_fit are ≥X faster "
              "than the baseline",
     )
+    parser.add_argument(
+        "--pinned", type=Path, default=None,
+        help="pinned baseline JSON for the regression gate: fail when "
+             "grid_point or rf_fit exceeds its pinned timing by more than "
+             "--max-regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25, metavar="FRAC",
+        help="allowed fractional slowdown over the --pinned timings "
+             "(default 0.25 = 25%%)",
+    )
     args = parser.parse_args(argv)
 
     report = run_benchmarks(args.scale, args.repeats, args.workers)
@@ -164,6 +175,32 @@ def main(argv=None) -> int:
                 print(f"FAIL: {name} speedup {got:.2f}x < {args.min_speedup}x")
                 return 1
         print(f"speedup gate OK (≥{args.min_speedup}x on dataset_build and rf_fit)")
+
+    if args.pinned is not None:
+        pinned = json.loads(args.pinned.read_text())
+        pinned_timings = pinned.get("timings_s", {})
+        failed = False
+        for name in ("grid_point", "rf_fit"):
+            base = pinned_timings.get(name)
+            got = report["timings_s"].get(name)
+            if not base or got is None:
+                print(f"FAIL: no pinned timing for {name} in {args.pinned}")
+                failed = True
+                continue
+            limit = base * (1.0 + args.max_regression)
+            if got > limit:
+                print(
+                    f"FAIL: {name} {got:.4f} s exceeds pinned {base:.4f} s "
+                    f"by more than {args.max_regression:.0%} "
+                    f"(limit {limit:.4f} s)"
+                )
+                failed = True
+        if failed:
+            return 1
+        print(
+            f"regression gate OK (grid_point and rf_fit within "
+            f"{args.max_regression:.0%} of {args.pinned})"
+        )
     return 0
 
 

@@ -18,6 +18,7 @@ applications (§8.4).
 import numpy as np
 import pytest
 
+from repro.sim.batch import BatchFlowSimulator
 from repro.sim.engine import SimulationConfig
 from repro.sim.oracle import OracleData, OracleDelay
 from repro.sim.timeline import ScenarioType, TimelineGenerator
@@ -32,6 +33,8 @@ def run_table(main_dataset, make_libra, heuristics):
     table = {}
     for overhead, fat in CONFIG_GRID:
         config = SimulationConfig(ba_overhead_s=overhead, frame_time_s=fat)
+        # Shared batch simulator: segment replays recur across timelines.
+        simulator = BatchFlowSimulator(config)
         policies = dict(heuristics)
         policies["LiBRA"] = make_libra(overhead, fat)
         policies["Oracle-Data"] = OracleData(config, 1.0)
@@ -42,7 +45,9 @@ def run_table(main_dataset, make_libra, heuristics):
         for name, policy in policies.items():
             durations, counts = [], []
             for timeline in timelines:
-                profile = profile_from_timeline(policy, timeline, config)
+                profile = profile_from_timeline(
+                    policy, timeline, config, simulator=simulator
+                )
                 result = simulate_vr_session(profile, trace)
                 durations.append(result.mean_stall_duration_ms)
                 counts.append(result.num_stalls)

@@ -281,24 +281,41 @@ def _cmd_train(args) -> int:
 
 def _evaluate_entries(
     entries, metrics, recorder, *, policies, config, flow_s
-) -> dict[str, list[float]]:
-    """Replay a contiguous run of entries; returns per-policy byte gaps.
+) -> tuple[dict[str, list[float]], dict]:
+    """Replay a contiguous run of entries; returns per-policy byte gaps
+    plus the shard's trajectory-cache stats.
 
     Module-level so the parallel runtime can ship it to worker
     processes; flow replay is deterministic, so sharding the entry list
-    cannot change the concatenated gap arrays.
+    cannot change the concatenated gap arrays.  Cache stats come back as
+    data (not trace events) so the parent can emit one aggregate event —
+    shards partition the dataset, so summed totals are worker-invariant.
+
+    Replays through the batched engine: one trajectory build per entry
+    shared by the oracle's three candidate actions and every policy, and
+    one model inference call per policy for the whole shard — with flows
+    emitted in the scalar loop's exact order, so traces and metrics are
+    byte-identical to per-flow replay.
     """
-    from repro.sim.engine import simulate_flow
+    from repro.sim.batch import BatchFlowSimulator, batch_decisions
     from repro.sim.oracle import OracleData
 
     oracle = OracleData(config, flow_s)
+    simulator = BatchFlowSimulator(config, metrics=metrics)
+    entries = list(entries)
+    decisions = {
+        name: batch_decisions(policy, simulator, entries, flow_s)
+        for name, policy in policies.items()
+    }
     gaps: dict[str, list[float]] = {name: [] for name in policies}
-    for entry in entries:
-        best = simulate_flow(oracle, entry, config, flow_s, recorder, metrics)
+    for index, entry in enumerate(entries):
+        best = simulator.simulate(oracle, entry, flow_s, recorder, metrics)
         for name, policy in policies.items():
-            result = simulate_flow(policy, entry, config, flow_s, recorder, metrics)
+            result = simulator.simulate_with_decision(
+                policy, entry, decisions[name][index], flow_s, recorder, metrics
+            )
             gaps[name].append((best.bytes_delivered - result.bytes_delivered) / 1e6)
-    return gaps
+    return gaps, simulator.cache.stats()
 
 
 def _cmd_evaluate(args) -> int:
@@ -308,12 +325,16 @@ def _cmd_evaluate(args) -> int:
     from repro.core.policies import BAFirstPolicy, RAFirstPolicy
     from repro.dataset.io import load_dataset
     from repro.ml.persistence import load_forest
-    from repro.obs.metrics import use_metrics
+    from repro.obs.metrics import MetricsRegistry, use_metrics
     from repro.runtime import parallel_map, shard_items
     from repro.sim.engine import SimulationConfig
 
+    # Always-on stage timing (independent of --metrics): the evaluate
+    # run ends with a one-line load/model/replay breakdown.
+    stages = MetricsRegistry()
     try:
-        dataset = load_dataset(args.dataset).without_na()
+        with stages.span("load"):
+            dataset = load_dataset(args.dataset).without_na()
     except (OSError, ValueError, KeyError) as error:
         return _fail(f"cannot load dataset {args.dataset!r}: {error}")
     config = SimulationConfig(
@@ -323,7 +344,8 @@ def _cmd_evaluate(args) -> int:
     policies = {"BA First": BAFirstPolicy(), "RA First": RAFirstPolicy()}
     if args.model:
         try:
-            policies["LiBRA"] = LiBRA(load_forest(args.model))
+            with stages.span("model"):
+                policies["LiBRA"] = LiBRA(load_forest(args.model))
         except (OSError, ValueError, KeyError) as error:
             return _fail(f"cannot load model {args.model!r}: {error}")
     try:
@@ -333,16 +355,29 @@ def _cmd_evaluate(args) -> int:
     task = functools.partial(
         _evaluate_entries, policies=policies, config=config, flow_s=args.flow_s
     )
-    with use_metrics(registry), registry.span("evaluate.replay"):
+    with use_metrics(registry), registry.span("evaluate.replay"), \
+            stages.span("replay"):
         shards = shard_items(list(dataset), max(args.workers, 1))
-        shard_gaps = parallel_map(
+        outcomes = parallel_map(
             task, shards, workers=args.workers, metrics=registry,
             recorder=recorder,
         )
     gaps = {name: [] for name in policies}
-    for partial_gaps in shard_gaps:
+    cache_totals = {"hits": 0, "misses": 0, "loaded": 0, "entries": 0}
+    for partial_gaps, cache_stats in outcomes:
         for name, values in partial_gaps.items():
             gaps[name].extend(values)
+        for key in cache_totals:
+            cache_totals[key] += cache_stats[key]
+    if recorder.enabled:
+        from repro.obs.events import CacheEvent
+
+        recorder.record(
+            CacheEvent(
+                "trajectory", cache_totals["hits"], cache_totals["misses"],
+                cache_totals["loaded"], cache_totals["entries"],
+            )
+        )
     print(
         f"{len(dataset)} impairments, BA overhead {args.ba_overhead_ms:g} ms, "
         f"FAT {args.fat_ms:g} ms, {args.flow_s:g} s flows:"
@@ -353,6 +388,12 @@ def _cmd_evaluate(args) -> int:
             f"  {name:>9}: matches Oracle-Data {np.mean(values <= 1.0):4.0%}, "
             f"mean gap {values.mean():6.1f} MB, worst {values.max():6.1f} MB"
         )
+    num_flows = len(dataset) * (len(policies) + 1)  # +1: the oracle reference
+    breakdown = " | ".join(
+        f"{name} {histogram.total:.2f} s"
+        for name, histogram in stages.spans().items()
+    )
+    print(f"timing: {breakdown} ({num_flows} flows)")
     _finish_obs(args, recorder, registry)
     return 0
 

@@ -153,6 +153,69 @@ def utility(throughput_mbps: float, delay_s: float, config: GroundTruthConfig) -
     )
 
 
+@dataclass(frozen=True)
+class LabelInputs:
+    """The point-independent half of :func:`label_entry`.
+
+    Everything the labelling rule needs that does not depend on
+    (α, BA overhead, FAT): the two best-throughput candidates and the two
+    descending scans.  Computing these once per entry lets the evaluation
+    grid relabel the training set for each operating point in O(1) float
+    work per entry (:func:`label_from_inputs`) instead of re-walking the
+    traces — with identical arithmetic, so labels match bit for bit.
+    """
+
+    th_ra: float
+    th_ba: float
+    found_same: Optional[int]
+    frames_same: int
+    found_best: Optional[int]
+    frames_best: int
+
+
+def label_inputs(
+    new_same_pair: StateMeasurement,
+    new_best_pair: StateMeasurement,
+    initial_mcs: int,
+) -> LabelInputs:
+    """Extract the reusable scan results for one entry."""
+    found_same, frames_same = first_working_descending(new_same_pair, initial_mcs)
+    found_best, frames_best = first_working_descending(new_best_pair, initial_mcs)
+    return LabelInputs(
+        th_ra(new_same_pair, initial_mcs),
+        th_ba(new_best_pair, initial_mcs),
+        found_same,
+        frames_same,
+        found_best,
+        frames_best,
+    )
+
+
+def label_from_inputs(
+    inputs: LabelInputs, config: GroundTruthConfig = GroundTruthConfig()
+) -> Action:
+    """:func:`label_entry` from precomputed scans — same floats, same label.
+
+    The delay expressions replicate :func:`recovery_delay_ra_s` and
+    :func:`recovery_delay_ba_s` operation by operation (same order, same
+    saturation), so the utilities — and therefore the tie-margin decision —
+    are bitwise identical to the trace-walking path.
+    """
+    if inputs.found_same is not None:
+        delay_ra = inputs.frames_same * config.frame_time_s
+    else:
+        delay = inputs.frames_same * config.frame_time_s + config.ba_overhead_s
+        delay += inputs.frames_best * config.frame_time_s
+        delay_ra = max_delay_s(config) if inputs.found_best is None else delay
+    if inputs.found_best is None:
+        delay_ba = max_delay_s(config)
+    else:
+        delay_ba = config.ba_overhead_s + inputs.frames_best * config.frame_time_s
+    u_ra = utility(inputs.th_ra, delay_ra, config)
+    u_ba = utility(inputs.th_ba, delay_ba, config)
+    return Action.RA if u_ra >= u_ba - config.tie_margin else Action.BA
+
+
 def label_entry(
     new_same_pair: StateMeasurement,
     new_best_pair: StateMeasurement,

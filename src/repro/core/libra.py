@@ -91,6 +91,53 @@ class LiBRA(LinkAdaptationPolicy):
             return self._degrade(
                 observation, f"model error ({type(error).__name__}: {error})"
             )
+        return self._prediction_decision(prediction, observation)
+
+    def decide_batch(self, observations: list[Observation]) -> list[PolicyDecision]:
+        """Batched selectAction(): one forest call for a whole entry list.
+
+        The missing-ACK rule and feature sanitization stay per-observation;
+        every accepted feature row joins a single ``model.predict`` call
+        (forest inference routes rows independently, so the stacked call
+        returns exactly the per-row labels).  A model that errors — or one
+        that returns the wrong number of labels — drops back to per-row
+        :meth:`decide`, reproducing the scalar degradation path message
+        for message.  Decisions come back in observation order.
+        """
+        decisions: list[Optional[PolicyDecision]] = [None] * len(observations)
+        rows: list[np.ndarray] = []
+        where: list[int] = []
+        for index, observation in enumerate(observations):
+            if observation.ack_missing:
+                decisions[index] = self._missing_ack_rule(observation)
+                continue
+            rejection = self._feature_rejection(observation)
+            if rejection is not None:
+                decisions[index] = self._degrade(
+                    observation, f"features rejected ({rejection})"
+                )
+                continue
+            rows.append(observation.features.to_array())
+            where.append(index)
+        if rows:
+            try:
+                predictions = self.model.predict(np.stack(rows))
+                if len(predictions) != len(where):
+                    raise ValueError("prediction count mismatch")
+            except Exception:  # noqa: BLE001 — replay the scalar degradation
+                for index in where:
+                    decisions[index] = self.decide(observations[index])
+            else:
+                for index, prediction in zip(where, predictions):
+                    decisions[index] = self._prediction_decision(
+                        prediction, observations[index]
+                    )
+        return decisions
+
+    def _prediction_decision(
+        self, prediction, observation: Observation
+    ) -> PolicyDecision:
+        """Map one model label to the decision (shared scalar/batch tail)."""
         try:
             action = Action(str(prediction))
         except ValueError:

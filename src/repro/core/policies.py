@@ -77,7 +77,17 @@ class PolicyDecision:
 
 
 class LinkAdaptationPolicy(abc.ABC):
-    """Base class for all decision policies."""
+    """Base class for all decision policies.
+
+    Policies whose decisions are pure per-observation functions may expose
+    an optional ``decide_batch(observations) -> list[PolicyDecision]``; the
+    batched evaluation engine uses it — when defined on the policy's own
+    class, never reached through delegation wrappers — to amortize model
+    inference across a whole entry list.  The base class deliberately does
+    not define it: stateful or fault-wrapped policies must keep the
+    sequential per-observation path so call order (and any injected
+    randomness) matches the scalar engine exactly.
+    """
 
     name: str = "policy"
 
@@ -87,6 +97,13 @@ class LinkAdaptationPolicy(abc.ABC):
 
     def reset(self) -> None:
         """Clear any per-flow state (default: stateless)."""
+
+
+def _decide_each(
+    policy: LinkAdaptationPolicy, observations: list[Observation]
+) -> list[PolicyDecision]:
+    """Batch façade for stateless policies: decide one by one, in order."""
+    return [policy.decide(observation) for observation in observations]
 
 
 class RAFirstPolicy(LinkAdaptationPolicy):
@@ -104,6 +121,9 @@ class RAFirstPolicy(LinkAdaptationPolicy):
             return PolicyDecision(Action.RA, "link degraded: COTS devices try rates first")
         return PolicyDecision(Action.NA, "current MCS still working")
 
+    def decide_batch(self, observations: list[Observation]) -> list[PolicyDecision]:
+        return _decide_each(self, observations)
+
 
 class BAFirstPolicy(LinkAdaptationPolicy):
     """Trigger BA (then RA) whenever the current MCS stops working ([14])."""
@@ -114,6 +134,9 @@ class BAFirstPolicy(LinkAdaptationPolicy):
         if observation.ack_missing or not observation.current_mcs_working:
             return PolicyDecision(Action.BA, "link degraded: sweep first per [14]")
         return PolicyDecision(Action.NA, "current MCS still working")
+
+    def decide_batch(self, observations: list[Observation]) -> list[PolicyDecision]:
+        return _decide_each(self, observations)
 
 
 class StaticPolicy(LinkAdaptationPolicy):

@@ -67,6 +67,144 @@ class FrameOutcome:
     probing: bool
 
 
+@dataclass(frozen=True)
+class RepairLadder:
+    """The point-independent skeleton of one :meth:`RateAdaptation.repair`.
+
+    A repair round's *trajectory* — which MCSs it probes, where it settles,
+    how many frames it burns — depends only on the traces and the starting
+    MCS, never on the frame aggregation time.  The batched evaluation path
+    computes the ladder once per (entry, pair) and converts it into an
+    :class:`RAResult` per operating point with :meth:`search_bytes`, whose
+    accumulation order matches ``repair()`` term for term so the bytes are
+    bit-identical.
+    """
+
+    start_mcs: int
+    found_mcs: Optional[int]
+    frames_spent: int
+    probed_throughputs_mbps: tuple[float, ...]
+    settled_throughput_mbps: float
+
+    @property
+    def failed(self) -> bool:
+        return self.found_mcs is None
+
+    def search_bytes(self, frame_time_s: float) -> float:
+        """Data delivered by the probe frames at one frame time."""
+        total = 0.0
+        for tput in self.probed_throughputs_mbps:
+            total += tput * 1e6 / 8.0 * frame_time_s
+        return total
+
+    def result(self, frame_time_s: float) -> RAResult:
+        return RAResult(
+            self.found_mcs,
+            self.frames_spent,
+            self.search_bytes(frame_time_s),
+            self.settled_throughput_mbps,
+        )
+
+
+def repair_ladder(
+    traces: McsTraces, start_mcs: int, initial_throughput_mbps: float = 0.0
+) -> RepairLadder:
+    """Run Algorithm 1's RA() scan and record its ladder.
+
+    Mirrors :meth:`RateAdaptation.repair` exactly, minus the per-point
+    byte accounting: the probed-MCS sequence and the settling decision are
+    frame-time-free.
+    """
+    if not 0 <= start_mcs < X60_NUM_MCS:
+        raise ValueError(f"start_mcs {start_mcs} out of range")
+    frames = 0
+    probed: list[float] = []
+    max_tput = initial_throughput_mbps
+    best_mcs: Optional[int] = None
+    for mcs in range(start_mcs, -1, -1):
+        frames += 1
+        tput = float(traces.throughput_mbps[mcs])
+        probed.append(tput)
+        if tput < max_tput:
+            break
+        max_tput = tput
+        if RateAdaptation._is_working(traces, mcs):
+            best_mcs = mcs
+    settled = 0.0 if best_mcs is None else float(traces.throughput_mbps[best_mcs])
+    return RepairLadder(start_mcs, best_mcs, frames, tuple(probed), settled)
+
+
+_STEADY_RUNS_MAX_FRAMES = 1_000_000
+"""Safety bound for the cycle search; real dynamics recur within a few
+hundred frames (the probe interval saturates at T0 · 2^5 and the MCS can
+only move up eight times)."""
+
+
+def steady_rate_runs(
+    traces: McsTraces,
+    settled_mcs: int,
+    mcs_set: Optional[MCSSet] = None,
+    probe_interval_min: int = PROBE_INTERVAL_MIN_FRAMES,
+    probe_backoff_cap: int = PROBE_BACKOFF_CAP,
+) -> tuple[list[float], list[float]]:
+    """The per-frame throughput sequence of :meth:`RateAdaptation.frames`,
+    compressed to ``(transient_prefix, repeating_cycle)``.
+
+    The steady-state dynamics are eventually periodic: the probe interval
+    saturates at ``T0 · cap``, the current MCS is monotone non-decreasing,
+    and within one trace the per-MCS values never change — so the machine
+    state ``(current, interval, since_probe, backoff)`` must recur.  The
+    first recurrence splits the emitted rates into a transient prefix and
+    a cycle; frame ``i``'s rate is ``prefix[i]`` while ``i < len(prefix)``
+    and ``cycle[(i - len(prefix)) % len(cycle)]`` after, reproducing the
+    generator's output exactly for any horizon.
+    """
+    mcs_set = X60_MCS_SET if mcs_set is None else mcs_set
+    rates: list[float] = []
+    seen: dict[tuple, int] = {}
+    current = settled_mcs
+    failed_probes = 0
+    interval = probe_interval_min
+    since_probe = 0
+    while len(rates) <= _STEADY_RUNS_MAX_FRAMES:
+        backoff = min(2 ** failed_probes, probe_backoff_cap)
+        # Two clamps keep the state space finite: once the backoff
+        # saturates the failure count no longer matters, and once
+        # ``since_probe`` reaches the interval the only thing the machine
+        # checks is ``since_probe >= interval`` — when the probe gate stays
+        # closed (top MCS, or CDR under the ORI threshold) the counter
+        # would otherwise grow forever without changing behaviour.
+        state = (current, interval, min(since_probe, interval),
+                 backoff if backoff < probe_backoff_cap else -1)
+        start = seen.get(state)
+        if start is not None:
+            return rates[:start], rates[start:]
+        seen[state] = len(rates)
+        probe_now = (
+            current < len(mcs_set) - 1
+            and since_probe >= interval
+            and traces.cdr[current] > cdr_ori_threshold(current, mcs_set)
+        )
+        if probe_now:
+            higher = current + 1
+            tput_higher = float(traces.throughput_mbps[higher])
+            rates.append(tput_higher)
+            since_probe = 0
+            if tput_higher > float(traces.throughput_mbps[current]):
+                current = higher
+                failed_probes = 0
+                interval = probe_interval_min
+            else:
+                failed_probes += 1
+                interval = probe_interval_min * min(
+                    2 ** failed_probes, probe_backoff_cap
+                )
+        else:
+            rates.append(float(traces.throughput_mbps[current]))
+            since_probe += 1
+    raise RuntimeError("steady-state dynamics failed to recur")  # pragma: no cover
+
+
 @dataclass
 class RateAdaptation:
     """The §7 RA algorithm over recorded per-MCS traces.

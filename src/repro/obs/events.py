@@ -142,11 +142,35 @@ class FaultEvent:
         return record
 
 
+@dataclass
+class CacheEvent:
+    """One cache's effectiveness snapshot at the end of a stage.
+
+    ``cache`` names the cache (``"trajectory"``); ``hits``/``misses``
+    count lookups served from memory vs rebuilt, ``loaded`` counts
+    rehydrations from a checkpoint payload, ``entries`` is the live size
+    when the snapshot was taken.
+    """
+
+    cache: str
+    hits: int
+    misses: int
+    loaded: int = 0
+    entries: int = 0
+
+    def to_dict(self) -> dict:
+        record = asdict(self)
+        record["type"] = "cache"
+        record["v"] = TRACE_SCHEMA_VERSION
+        return record
+
+
 _EVENT_TYPES = {
     "flow": FlowEvent,
     "span": SpanEvent,
     "session": SessionEvent,
     "fault": FaultEvent,
+    "cache": CacheEvent,
 }
 
 

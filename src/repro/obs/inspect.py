@@ -114,6 +114,29 @@ def _fault_block(faults: list[dict]) -> list[str]:
     return lines
 
 
+def _cache_block(caches: list[dict]) -> list[str]:
+    """Per-cache lookup effectiveness (trajectory cache et al.)."""
+    totals: dict[str, dict[str, int]] = defaultdict(
+        lambda: {"hits": 0, "misses": 0, "loaded": 0, "entries": 0}
+    )
+    for event in caches:
+        entry = totals[event.get("cache", "?")]
+        entry["hits"] += int(event.get("hits", 0))
+        entry["misses"] += int(event.get("misses", 0))
+        entry["loaded"] += int(event.get("loaded", 0))
+        entry["entries"] = max(entry["entries"], int(event.get("entries", 0)))
+    lines = ["caches (hits / misses / loaded):"]
+    for name in sorted(totals):
+        entry = totals[name]
+        lookups = entry["hits"] + entry["misses"] + entry["loaded"]
+        rate = (entry["hits"] + entry["loaded"]) / lookups if lookups else 0.0
+        lines.append(
+            f"  {name:<12} {entry['hits']} / {entry['misses']} / {entry['loaded']}"
+            f"  ({rate:.0%} served from cache, {entry['entries']} entries)"
+        )
+    return lines
+
+
 def _session_block(sessions: list[dict]) -> list[str]:
     counts = defaultdict(int)
     for event in sessions:
@@ -132,6 +155,7 @@ def summarize_trace(events: Iterable[dict]) -> list[str]:
     spans: list[dict] = []
     sessions: list[dict] = []
     faults: list[dict] = []
+    caches: list[dict] = []
     total = 0
     for event in events:
         total += 1
@@ -144,6 +168,8 @@ def summarize_trace(events: Iterable[dict]) -> list[str]:
             sessions.append(event)
         elif kind == "fault":
             faults.append(event)
+        elif kind == "cache":
+            caches.append(event)
     if total == 0:
         raise ValueError("trace holds no events")
     lines = [f"{total} events"]
@@ -159,6 +185,9 @@ def summarize_trace(events: Iterable[dict]) -> list[str]:
         lines.append("")
     if faults:
         lines += _fault_block(faults)
+        lines.append("")
+    if caches:
+        lines += _cache_block(caches)
         lines.append("")
     if spans:
         lines += _span_block(spans)

@@ -2,6 +2,8 @@
 generators, oracle baselines, result statistics, and the VR application."""
 
 from repro.sim.engine import SimulationConfig, FlowResult, simulate_flow, simulate_timeline
+from repro.sim.batch import BatchFlowSimulator, batch_decisions, simulate_flows_batch
+from repro.sim.trajectory import EntryTrajectories, TrajectoryCache, entry_fingerprint
 from repro.sim.timeline import Timeline, Segment, TimelineGenerator, ScenarioType
 from repro.sim.oracle import OracleData, OracleDelay
 from repro.sim.live import LinkEvent, LiveSession
@@ -23,6 +25,12 @@ __all__ = [
     "FlowResult",
     "simulate_flow",
     "simulate_timeline",
+    "BatchFlowSimulator",
+    "batch_decisions",
+    "simulate_flows_batch",
+    "EntryTrajectories",
+    "TrajectoryCache",
+    "entry_fingerprint",
     "Timeline",
     "Segment",
     "TimelineGenerator",

@@ -263,6 +263,7 @@ def simulate_timeline(
     config: SimulationConfig,
     recorder: TraceRecorder = NULL_RECORDER,
     metrics: MetricsRegistry = NULL_METRICS,
+    simulator=None,
 ) -> tuple[float, float, int]:
     """Run a policy over a multi-segment timeline (§8.3).
 
@@ -271,8 +272,16 @@ def simulate_timeline(
     deliver at the pre-impairment rate (all policies equal there, since
     every algorithm probes back up with the same §7 machinery).
 
+    ``simulator``, when given, is a
+    :class:`repro.sim.batch.BatchFlowSimulator` built for the same config;
+    impaired segments then replay from its trajectory cache (byte-identical
+    results) instead of re-walking the traces — the Fig. 12/13 sweeps share
+    one simulator per config across many timelines.
+
     Returns ``(total_bytes, mean_recovery_delay_s, num_breaks)``.
     """
+    if simulator is not None and simulator.config != config:
+        raise ValueError("simulator was built for a different SimulationConfig")
     total_bytes = 0.0
     total_delay = 0.0
     breaks = 0
@@ -282,9 +291,14 @@ def simulate_timeline(
             # Clear segment: steady state at the recovered link rate.
             total_bytes += segment.clear_rate_mbps * 1e6 / 8.0 * segment.duration_s
             continue
-        result = simulate_flow(
-            policy, segment.entry, config, segment.duration_s, recorder, metrics
-        )
+        if simulator is not None:
+            result = simulator.simulate(
+                policy, segment.entry, segment.duration_s, recorder, metrics
+            )
+        else:
+            result = simulate_flow(
+                policy, segment.entry, config, segment.duration_s, recorder, metrics
+            )
         total_bytes += result.bytes_delivered
         total_delay += min(result.recovery_delay_s, segment.duration_s)
         breaks += 1

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -22,16 +23,24 @@ from repro.constants import (
     ALPHA_FOR_HIGH_BA_OVERHEAD,
     ALPHA_FOR_LOW_BA_OVERHEAD,
 )
-from repro.core.ground_truth import GroundTruthConfig
+from repro.core.ground_truth import (
+    Action,
+    GroundTruthConfig,
+    LabelInputs,
+    label_from_inputs,
+    label_inputs,
+)
 from repro.core.libra import LiBRA
 from repro.core.policies import BAFirstPolicy, LinkAdaptationPolicy, RAFirstPolicy
-from repro.dataset.entry import Dataset
+from repro.dataset.entry import Dataset, ImpairmentKind
 from repro.ml.forest import RandomForestClassifier
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.runtime import parallel_map
+from repro.sim.batch import BatchFlowSimulator, batch_decisions
 from repro.sim.engine import SimulationConfig, simulate_flow
 from repro.sim.oracle import OracleData, OracleDelay
+from repro.sim.trajectory import TrajectoryCache
 
 LOW_OVERHEAD_CUTOFF_S = 10e-3
 """§8.1's α assignment boundary: sweeps up to a few ms count as cheap."""
@@ -52,6 +61,31 @@ class OperatingPoint:
     frame_time_s: float
     flow_duration_s: float = 1.0
     alpha: Optional[float] = None  # None → the paper's per-regime default
+
+    def __post_init__(self) -> None:
+        # Mirror SimulationConfig's overhead contract, and catch the two
+        # mistakes it cannot: a non-positive (or NaN) flow duration that
+        # simulate_flow would only reject point by point deep inside run(),
+        # and an out-of-range α that would silently skew every relabel.
+        if not (math.isfinite(self.ba_overhead_s) and self.ba_overhead_s >= 0):
+            raise ValueError(
+                f"ba_overhead_s must be a finite number >= 0, "
+                f"got {self.ba_overhead_s!r}"
+            )
+        if not (math.isfinite(self.frame_time_s) and self.frame_time_s > 0):
+            raise ValueError(
+                f"frame_time_s must be a finite number > 0, "
+                f"got {self.frame_time_s!r}"
+            )
+        if not (math.isfinite(self.flow_duration_s) and self.flow_duration_s > 0):
+            raise ValueError(
+                f"flow_duration_s must be a finite number > 0, "
+                f"got {self.flow_duration_s!r}"
+            )
+        if self.alpha is not None and not (
+            math.isfinite(self.alpha) and 0.0 <= self.alpha <= 1.0
+        ):
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha!r}")
 
     def resolved_alpha(self) -> float:
         return self.alpha if self.alpha is not None else default_alpha(
@@ -99,6 +133,15 @@ class EvaluationGrid:
         metrics: Optional registry; each point contributes a
             ``sweep.run_point`` span, a ``sweep.train_libra`` span per
             fresh model, and per-point progress counters/gauges.
+        engine: ``"batch"`` (default) replays each point through the
+            vectorized :class:`repro.sim.batch.BatchFlowSimulator`;
+            ``"scalar"`` keeps the per-flow reference loop.  Both produce
+            byte-identical :class:`PointResult` arrays, traces, and flow
+            metrics (the batch engine additionally emits
+            ``sim.traj_cache.*`` counters).
+        trajectory_cache: Optional shared cache of point-independent entry
+            trajectories; created on first batched point when absent, and
+            persisted/adopted by :meth:`run` when checkpointing.
     """
 
     training_dataset: Dataset
@@ -107,7 +150,54 @@ class EvaluationGrid:
     max_depth: int = 14
     random_state: int = 0
     metrics: MetricsRegistry = NULL_METRICS
+    engine: str = "batch"
+    trajectory_cache: Optional[TrajectoryCache] = field(default=None, repr=False)
     _model_cache: dict = field(default_factory=dict, init=False, repr=False)
+    _train_features: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False
+    )
+    _train_label_inputs: Optional[list[Optional[LabelInputs]]] = field(
+        default=None, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("batch", "scalar"):
+            raise ValueError(
+                f"unknown engine {self.engine!r} (expected 'batch' or 'scalar')"
+            )
+
+    def _training_features(self) -> np.ndarray:
+        if self._train_features is None:
+            self._train_features = self.training_dataset.feature_matrix()
+        return self._train_features
+
+    def _training_labels(self, config: GroundTruthConfig) -> np.ndarray:
+        """``training_dataset.labels(config)``, without re-walking traces.
+
+        The descending-MCS scans behind each label are point-independent;
+        they are extracted once (:func:`repro.core.ground_truth.label_inputs`)
+        and each operating point pays only the O(1)-per-entry utility
+        arithmetic — same floats, same labels, same trained forest.
+        """
+        if self._train_label_inputs is None:
+            with self.metrics.span("sweep.label_scan"):
+                self._train_label_inputs = [
+                    None if entry.kind is ImpairmentKind.NONE
+                    else label_inputs(
+                        entry.traces_same_pair,
+                        entry.traces_best_pair,
+                        entry.initial_mcs,
+                    )
+                    for entry in self.training_dataset.entries
+                ]
+        with self.metrics.span("sweep.relabel"):
+            return np.array(
+                [
+                    Action.NA.value if inputs is None
+                    else label_from_inputs(inputs, config).value
+                    for inputs in self._train_label_inputs
+                ]
+            )
 
     def libra_for(self, point: OperatingPoint) -> LiBRA:
         """A LiBRA trained on this point's relabelled ground truth."""
@@ -121,8 +211,8 @@ class EvaluationGrid:
                     random_state=self.random_state,
                 )
                 model.fit(
-                    self.training_dataset.feature_matrix(),
-                    self.training_dataset.labels(config),
+                    self._training_features(),
+                    self._training_labels(config),
                 )
                 self._model_cache[key] = LiBRA(model)
         return self._model_cache[key]
@@ -140,8 +230,17 @@ class EvaluationGrid:
         """Replay every evaluation impairment at one operating point.
 
         ``recorder`` receives every policy flow's decision event (oracle
-        flows included — they carry their own policy names).
+        flows included — they carry their own policy names), in the same
+        order under both engines.
         """
+        if self.engine == "scalar":
+            return self._run_point_scalar(point, recorder)
+        return self._run_point_batch(point, recorder)
+
+    def _run_point_scalar(
+        self, point: OperatingPoint, recorder: TraceRecorder
+    ) -> PointResult:
+        """The per-flow reference loop (parity baseline for the batch engine)."""
         metrics = self.metrics
         with metrics.span("sweep.run_point") as span:
             config = point.simulation_config()
@@ -168,6 +267,62 @@ class EvaluationGrid:
                     delay_gaps[name].append(
                         (result.recovery_delay_s - best_delay.recovery_delay_s) * 1e3
                     )
+        return self._finish_point(point, byte_gaps, delay_gaps, span, metrics)
+
+    def _run_point_batch(
+        self, point: OperatingPoint, recorder: TraceRecorder
+    ) -> PointResult:
+        """The vectorized path: cached trajectories, one inference call.
+
+        Decisions are computed policy-major (so LiBRA's forest sees one
+        stacked predict per point) but flows are *emitted* entry-major in
+        the scalar loop's exact order, keeping trace streams and metric
+        observation sequences identical.
+        """
+        metrics = self.metrics
+        with metrics.span("sweep.run_point") as span:
+            config = point.simulation_config()
+            duration = point.flow_duration_s
+            policies = self.policies_for(point)
+            data_oracle = OracleData(config, duration)
+            delay_oracle = OracleDelay(config, duration)
+            if self.trajectory_cache is None:
+                self.trajectory_cache = TrajectoryCache()
+            simulator = BatchFlowSimulator(config, self.trajectory_cache, metrics)
+            entries = list(self.evaluation_dataset.without_na())
+            with metrics.span("sweep.batch_decide"):
+                decisions = {
+                    name: batch_decisions(policy, simulator, entries, duration)
+                    for name, policy in policies.items()
+                }
+            byte_gaps = {name: [] for name in policies}
+            delay_gaps = {name: [] for name in policies}
+            for index, entry in enumerate(entries):
+                best_bytes = simulator.simulate(
+                    data_oracle, entry, duration, recorder, metrics
+                )
+                best_delay = simulator.simulate(
+                    delay_oracle, entry, duration, recorder, metrics
+                )
+                for name, policy in policies.items():
+                    result = simulator.simulate_with_decision(
+                        policy, entry, decisions[name][index],
+                        duration, recorder, metrics,
+                    )
+                    byte_gaps[name].append(
+                        (best_bytes.bytes_delivered - result.bytes_delivered) / 1e6
+                    )
+                    delay_gaps[name].append(
+                        (result.recovery_delay_s - best_delay.recovery_delay_s) * 1e3
+                    )
+        if metrics.enabled:
+            stats = self.trajectory_cache.stats()
+            metrics.gauge("sweep.traj_cache_entries").set(stats["entries"])
+        return self._finish_point(point, byte_gaps, delay_gaps, span, metrics)
+
+    def _finish_point(
+        self, point, byte_gaps, delay_gaps, span, metrics
+    ) -> PointResult:
         if metrics.enabled:
             metrics.counter("sweep.points_done").inc()
             metrics.gauge("sweep.last_point_wall_s").set(span.elapsed_s)
@@ -200,8 +355,29 @@ class EvaluationGrid:
         fixed ``random_state``), so results — and, with checkpointing,
         the persisted bytes — are identical at every worker count.
         Checkpoints are saved by the parent, in point order.
+
+        Under the batch engine a checkpointed run also persists the
+        trajectory cache (key ``"trajectories"``): resuming adopts the
+        saved payload so unchanged entries skip the trajectory rebuild
+        entirely — with identical replay bytes, since payloads round-trip
+        floats exactly.  Worker processes receive the adopted payloads
+        with their grid copy and send their built trajectories back; the
+        parent unions them in point order, so the persisted cache is
+        identical at every worker count (trajectories are pure functions
+        of the entry).
         """
         store = None if checkpoint_dir is None else CheckpointStore(checkpoint_dir)
+        if store is not None and self.engine == "batch":
+            if self.trajectory_cache is None:
+                self.trajectory_cache = TrajectoryCache()
+            if resume:
+                payload = store.load("trajectories")
+                if payload is not None:
+                    staged = self.trajectory_cache.adopt_payload(payload)
+                    if self.metrics.enabled:
+                        self.metrics.counter(
+                            "sweep.trajectories_adopted"
+                        ).inc(staged)
         if self.metrics.enabled:
             self.metrics.gauge("sweep.points_total").set(len(points))
         by_index: dict[int, PointResult] = {}
@@ -221,29 +397,50 @@ class EvaluationGrid:
             ]
         else:
             task = functools.partial(_run_point_task, grid=self)
-            computed = parallel_map(
+            outcomes = parallel_map(
                 task, pending, workers=workers, metrics=self.metrics,
                 recorder=recorder,
             )
+            computed = [result for result, _ in outcomes]
+            if self.trajectory_cache is not None:
+                for _, payload in outcomes:
+                    if payload is not None:
+                        self.trajectory_cache.merge_payload(payload)
         for (index, _), result in zip(pending, computed):
             if store is not None:
                 store.save(f"point-{index:04d}", _point_result_to_dict(result))
             by_index[index] = result
+        if store is not None and pending and self.trajectory_cache is not None:
+            payload = self.trajectory_cache.to_payload()
+            if payload["entries"]:
+                store.save("trajectories", payload)
+                if self.metrics.enabled:
+                    size = store.size_bytes("trajectories")
+                    if size is not None:
+                        self.metrics.gauge(
+                            "sweep.trajectory_ckpt_bytes"
+                        ).set(size)
         return [by_index[index] for index in range(len(points))]
 
 
 def _run_point_task(
     item: tuple[int, OperatingPoint], metrics: MetricsRegistry, recorder: TraceRecorder,
     *, grid: EvaluationGrid,
-) -> PointResult:
+) -> tuple[PointResult, Optional[dict]]:
     """Runtime task: one operating point in a worker process.
 
     ``dataclasses.replace`` rebuilds the grid around the worker's own
     registry (and a fresh model cache) without mutating the parent's.
+    Returns the worker's trajectory-cache payload alongside the result so
+    the parent can fold the built trajectories back in.
     """
     _, point = item
     local = dataclasses.replace(grid, metrics=metrics)
-    return local.run_point(point, recorder)
+    result = local.run_point(point, recorder)
+    payload = None
+    if local.engine == "batch" and local.trajectory_cache is not None:
+        payload = local.trajectory_cache.to_payload()
+    return result, payload
 
 
 def _point_to_dict(point: OperatingPoint) -> dict:

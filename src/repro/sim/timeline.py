@@ -61,6 +61,14 @@ class Timeline:
     def num_breaks(self) -> int:
         return sum(1 for s in self.segments if s.entry is not None)
 
+    def impaired_entries(self) -> list[DatasetEntry]:
+        """The entries behind the impaired segments, in segment order.
+
+        Handy for pre-warming a trajectory cache before replaying a batch
+        of timelines (duplicates included — segments reuse pool entries).
+        """
+        return [s.entry for s in self.segments if s.entry is not None]
+
 
 class TimelineGenerator:
     """Draw random timelines from a dataset (§8.3's 50-timeline batches)."""

@@ -148,15 +148,21 @@ def profile_from_timeline(
     timeline,
     sim_config,
     rate_scale: float = COTS_SCALE,
+    simulator=None,
 ) -> BandwidthProfile:
     """Run a policy over a mobility timeline and extract its goodput profile.
 
     Each impaired segment contributes a zero-rate recovery interval followed
     by the settled rate; clear segments contribute their steady rate.  All
-    rates are scaled to the COTS ladder (§8.4).
+    rates are scaled to the COTS ladder (§8.4).  A shared
+    :class:`repro.sim.batch.BatchFlowSimulator` (same ``sim_config``) can
+    be passed to replay the breaks from its trajectory cache — the Table 4
+    study runs 50 timelines over one pool of entries.
     """
     from repro.sim.engine import simulate_flow
 
+    if simulator is not None and simulator.config != sim_config:
+        raise ValueError("simulator was built for a different SimulationConfig")
     times = [0.0]
     rates = []
     clock = 0.0
@@ -167,7 +173,12 @@ def profile_from_timeline(
             clock += segment.duration_s
             times.append(clock)
             continue
-        result = simulate_flow(policy, segment.entry, sim_config, segment.duration_s)
+        if simulator is not None:
+            result = simulator.simulate(policy, segment.entry, segment.duration_s)
+        else:
+            result = simulate_flow(
+                policy, segment.entry, sim_config, segment.duration_s
+            )
         delay = min(result.recovery_delay_s, segment.duration_s)
         if delay > 0.0:
             rates.append(0.0)

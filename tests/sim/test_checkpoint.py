@@ -107,7 +107,8 @@ class TestGridResume:
         store.path("point-0001").unlink()
         resumed = tiny_grid().run(POINTS, checkpoint_dir=tmp_path, resume=True)
         assert_identical(reference, resumed)
-        assert store.keys() == ["point-0000", "point-0001"]  # re-saved
+        # Point checkpoints re-saved, plus the batch engine's trajectory cache.
+        assert store.keys() == ["point-0000", "point-0001", "trajectories"]
 
     def test_mismatched_point_recomputes(self, tmp_path):
         tiny_grid().run(POINTS, checkpoint_dir=tmp_path)

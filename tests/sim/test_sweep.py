@@ -36,6 +36,31 @@ class TestOperatingPoint:
         assert len(grid) == 8
         assert len({(p.ba_overhead_s, p.frame_time_s) for p in grid}) == 8
 
+    @pytest.mark.parametrize("flow_duration_s", [0.0, -1.0, float("nan"),
+                                                 float("inf")])
+    def test_invalid_flow_duration_rejected(self, flow_duration_s):
+        with pytest.raises(ValueError, match="flow_duration_s"):
+            OperatingPoint(5e-3, 2e-3, flow_duration_s=flow_duration_s)
+
+    @pytest.mark.parametrize("alpha", [-0.1, 1.5, float("nan"), float("inf")])
+    def test_invalid_alpha_rejected(self, alpha):
+        with pytest.raises(ValueError, match="alpha"):
+            OperatingPoint(5e-3, 2e-3, alpha=alpha)
+
+    @pytest.mark.parametrize("ba_overhead_s", [-1e-3, float("nan")])
+    def test_invalid_ba_overhead_rejected(self, ba_overhead_s):
+        with pytest.raises(ValueError, match="ba_overhead_s"):
+            OperatingPoint(ba_overhead_s, 2e-3)
+
+    @pytest.mark.parametrize("frame_time_s", [0.0, -2e-3, float("nan")])
+    def test_invalid_frame_time_rejected(self, frame_time_s):
+        with pytest.raises(ValueError, match="frame_time_s"):
+            OperatingPoint(5e-3, frame_time_s)
+
+    def test_boundary_alphas_accepted(self):
+        assert OperatingPoint(5e-3, 2e-3, alpha=0.0).resolved_alpha() == 0.0
+        assert OperatingPoint(5e-3, 2e-3, alpha=1.0).resolved_alpha() == 1.0
+
 
 class TestEvaluationGridTinyDataset:
     """Smoke the full §8.2 methodology on a hand-built 8-entry dataset —

@@ -78,6 +78,35 @@ class TestEvaluateCommand:
         assert "BA First" in out and "RA First" in out
         assert "LiBRA" not in out
 
+    def test_timing_summary_printed(self, saved_testing_dataset, capsys):
+        exit_code = main(["evaluate", str(saved_testing_dataset)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        timing_lines = [l for l in out.splitlines() if l.startswith("timing:")]
+        assert len(timing_lines) == 1
+        # No --model: only the load and replay stages run.
+        assert "load " in timing_lines[0] and "replay " in timing_lines[0]
+        assert timing_lines[0].rstrip().endswith("flows)")
+
+    def test_timing_summary_includes_model_stage(
+        self, saved_testing_dataset, tmp_path, capsys
+    ):
+        model_path = tmp_path / "model.json"
+        main([
+            "train", str(saved_testing_dataset),
+            "--model-out", str(model_path), "--trees", "8",
+        ])
+        capsys.readouterr()
+        exit_code = main([
+            "evaluate", str(saved_testing_dataset), "--model", str(model_path),
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        timing_lines = [l for l in out.splitlines() if l.startswith("timing:")]
+        assert len(timing_lines) == 1
+        for stage in ("load", "model", "replay"):
+            assert f"{stage} " in timing_lines[0]
+
     def test_with_model(self, saved_testing_dataset, tmp_path, capsys):
         model_path = tmp_path / "model.json"
         main([
@@ -153,6 +182,26 @@ class TestObservabilityFlags:
         # 1 Oracle-Data + BA First + RA First flow per impairment.
         assert len(flows) == 3 * n
         assert all("repairs" in e and "recovery_delay_s" in e for e in flows)
+        # Exactly one aggregate trajectory-cache event, after the flows.
+        caches = [e for e in events if e["type"] == "cache"]
+        assert len(caches) == 1
+        assert caches[0]["cache"] == "trajectory"
+        assert caches[0]["misses"] == caches[0]["entries"] == n
+
+    def test_evaluate_trace_worker_invariant(
+        self, saved_testing_dataset, tmp_path, capsys
+    ):
+        traces = {}
+        for workers in (1, 2):
+            path = tmp_path / f"w{workers}.jsonl"
+            code = main([
+                "evaluate", str(saved_testing_dataset),
+                "--trace", str(path), "--flow-s", "0.2",
+                "--workers", str(workers),
+            ])
+            assert code == 0
+            traces[workers] = path.read_bytes()
+        assert traces[1] == traces[2]
 
     def test_evaluate_metrics_report(self, saved_testing_dataset, capsys):
         code = main([
