@@ -1,5 +1,10 @@
 """Dataset analysis: the §6.1 single-metric threshold study and class
-separability statistics."""
+separability statistics.
+
+The :mod:`repro.analysis.lint` subpackage is unrelated to the dataset —
+it is the AST-based determinism & contract linter behind ``repro lint``
+(imported directly, not re-exported here, to keep dataset-analysis
+imports lean)."""
 
 from repro.analysis.thresholds import (
     ThresholdRule,

@@ -1,0 +1,91 @@
+"""Ratcheting baseline: legacy findings tolerated, new findings fatal.
+
+The baseline file is a JSON map from finding fingerprint
+(``path::rule::message``, no line numbers — see
+:meth:`~repro.analysis.lint.findings.Finding.fingerprint`) to an
+occurrence count.  Semantics:
+
+* a current finding whose fingerprint has remaining baseline budget is
+  marked *baselined* (reported, but does not fail the run);
+* a finding beyond its budget — or with no entry at all — is *new* and
+  fails the run;
+* baseline budget left over after matching (the finding was fixed) is
+  *stale*; the run stays green but reports it, and
+  ``repro lint --update-baseline`` prunes it.  The ratchet only ever
+  tightens: updating writes exactly the findings that still exist.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.rules import RULE_PACK_VERSION
+
+BASELINE_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """An immutable budget of tolerated legacy findings."""
+
+    def __init__(self, entries: dict[str, int] | None = None):
+        self.entries: dict[str, int] = dict(entries or {})
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Parse a baseline file; raises ``ValueError`` on a bad shape."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as error:
+            raise ValueError(f"baseline {path} is not valid JSON: {error}")
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"baseline {path} lacks an 'entries' map")
+        entries = payload["entries"]
+        if not isinstance(entries, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) and v > 0
+            for k, v in entries.items()
+        ):
+            raise ValueError(
+                f"baseline {path} entries must map fingerprints to "
+                "positive counts"
+            )
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(Counter(f.fingerprint() for f in findings))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_FORMAT_VERSION,
+            "rule_pack_version": RULE_PACK_VERSION,
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def apply(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], dict[str, int]]:
+        """Mark findings covered by the budget; report the stale leftovers.
+
+        Returns ``(findings, stale)`` where ``findings`` preserves input
+        order (covered ones replaced by their ``baselined`` copies) and
+        ``stale`` maps fingerprints to unconsumed budget.
+        """
+        budget = Counter(self.entries)
+        marked: list[Finding] = []
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if budget[fingerprint] > 0:
+                budget[fingerprint] -= 1
+                marked.append(finding.as_baselined())
+            else:
+                marked.append(finding)
+        stale = {k: v for k, v in sorted(budget.items()) if v > 0}
+        return marked, stale

@@ -1,0 +1,178 @@
+"""Path-scoped lint policy, loaded from ``[tool.repro.lint]``.
+
+The policy answers three questions the rules cannot answer from an AST
+alone:
+
+* **where determinism is contractual** — ``deterministic-paths`` scopes
+  DET002 (wall-clock/environment reads) to the layers whose outputs must
+  be byte-identical across runs;
+* **who is allowed to seed** — ``seed-sanctuaries`` exempts the runtime
+  seeding modules (per-worker ``SeedSequence`` streams) from DET001;
+* **which rules run where** — ``rules`` selects the default pack and
+  ``[[tool.repro.lint.overrides]]`` tables ignore rules under path
+  globs (e.g. relaxing DET001 for ``tests/**`` fixtures).
+
+Patterns are ``fnmatch`` globs matched against posix-style paths; a
+pattern without a wildcard also matches as a directory prefix, so
+``src/repro/sim`` covers everything under that tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.lint.findings import SEVERITIES
+
+DEFAULT_DETERMINISTIC_PATHS = (
+    "*/repro/sim/*", "*/repro/ml/*", "*/repro/phy/*", "*/repro/core/*",
+)
+DEFAULT_SEED_SANCTUARIES = ("*/repro/runtime/*",)
+
+
+def path_matches(path: str, patterns) -> bool:
+    """Does the posix path match any glob (or directory-prefix) pattern?"""
+    path = path.replace("\\", "/")
+    for pattern in patterns:
+        pattern = pattern.replace("\\", "/").rstrip("/")
+        if not pattern:
+            continue
+        if fnmatch(path, pattern) or fnmatch(path, pattern + "/*"):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class PolicyOverride:
+    """One ``[[tool.repro.lint.overrides]]`` table."""
+
+    paths: tuple[str, ...]
+    ignore: tuple[str, ...] = ()
+
+    def applies(self, path: str) -> bool:
+        return path_matches(path, self.paths)
+
+
+@dataclass(frozen=True)
+class LintPolicy:
+    """Everything ``[tool.repro.lint]`` can configure."""
+
+    rules: Optional[tuple[str, ...]] = None
+    """Rule ids to run; ``None`` enables the whole registered pack."""
+    paths: tuple[str, ...] = ()
+    """Default lint targets when the CLI gets no positional paths."""
+    deterministic_paths: tuple[str, ...] = DEFAULT_DETERMINISTIC_PATHS
+    seed_sanctuaries: tuple[str, ...] = DEFAULT_SEED_SANCTUARIES
+    baseline: Optional[str] = None
+    """Default ratcheting-baseline file, relative to the policy root."""
+    severity: dict = field(default_factory=dict)
+    """Per-rule severity overrides: ``{"DET003": "warning"}``."""
+    overrides: tuple[PolicyOverride, ...] = ()
+
+    def rule_enabled(self, rule_id: str, path: str) -> bool:
+        if self.rules is not None and rule_id not in self.rules:
+            return False
+        for override in self.overrides:
+            if rule_id in override.ignore and override.applies(path):
+                return False
+        return True
+
+    def severity_for(self, rule_id: str, default: str) -> str:
+        return self.severity.get(rule_id, default)
+
+    def in_deterministic_scope(self, path: str) -> bool:
+        return path_matches(path, self.deterministic_paths)
+
+    def in_seed_sanctuary(self, path: str) -> bool:
+        return path_matches(path, self.seed_sanctuaries)
+
+
+def _as_str_tuple(value, key: str) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+        raise ValueError(f"[tool.repro.lint] {key} must be a list of strings")
+    return tuple(value)
+
+
+def policy_from_table(table: dict) -> LintPolicy:
+    """Build the policy from a parsed ``[tool.repro.lint]`` table.
+
+    Raises ``ValueError`` on malformed entries — a policy typo must fail
+    the lint run (exit 2), not silently disable a rule.
+    """
+    known = {
+        "rules", "paths", "deterministic-paths", "seed-sanctuaries",
+        "baseline", "severity", "overrides",
+    }
+    unknown = sorted(set(table) - known)
+    if unknown:
+        raise ValueError(f"[tool.repro.lint] unknown keys: {', '.join(unknown)}")
+    severity = table.get("severity", {})
+    if not isinstance(severity, dict):
+        raise ValueError("[tool.repro.lint] severity must be a table")
+    for rule, level in severity.items():
+        if level not in SEVERITIES:
+            raise ValueError(
+                f"[tool.repro.lint] severity.{rule} must be one of {SEVERITIES}"
+            )
+    overrides = []
+    for index, entry in enumerate(table.get("overrides", [])):
+        if not isinstance(entry, dict) or "paths" not in entry:
+            raise ValueError(
+                f"[tool.repro.lint] overrides[{index}] needs a `paths` list"
+            )
+        overrides.append(PolicyOverride(
+            paths=_as_str_tuple(entry["paths"], f"overrides[{index}].paths"),
+            ignore=_as_str_tuple(
+                entry.get("ignore", []), f"overrides[{index}].ignore"
+            ),
+        ))
+    baseline = table.get("baseline")
+    if baseline is not None and not isinstance(baseline, str):
+        raise ValueError("[tool.repro.lint] baseline must be a string path")
+    return LintPolicy(
+        rules=(
+            _as_str_tuple(table["rules"], "rules") if "rules" in table else None
+        ),
+        paths=_as_str_tuple(table.get("paths", []), "paths"),
+        deterministic_paths=(
+            _as_str_tuple(table["deterministic-paths"], "deterministic-paths")
+            if "deterministic-paths" in table else DEFAULT_DETERMINISTIC_PATHS
+        ),
+        seed_sanctuaries=(
+            _as_str_tuple(table["seed-sanctuaries"], "seed-sanctuaries")
+            if "seed-sanctuaries" in table else DEFAULT_SEED_SANCTUARIES
+        ),
+        baseline=baseline,
+        severity=dict(severity),
+        overrides=tuple(overrides),
+    )
+
+
+def load_policy(pyproject: Path) -> LintPolicy:
+    """The policy from one ``pyproject.toml`` (defaults if no table)."""
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10: stdlib toml parser unavailable
+        return LintPolicy()
+    with open(pyproject, "rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("repro", {}).get("lint", {})
+    if not isinstance(table, dict):
+        raise ValueError("[tool.repro.lint] must be a table")
+    return policy_from_table(table)
+
+
+def find_policy(start: Path) -> tuple[LintPolicy, Optional[Path]]:
+    """Walk up from ``start`` to the nearest ``pyproject.toml``.
+
+    Returns ``(policy, root)``; ``root`` is the directory holding the
+    file (``None``, with a default policy, when nothing was found).
+    """
+    start = start.resolve()
+    for candidate in [start, *start.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return load_policy(pyproject), candidate
+    return LintPolicy(), None

@@ -1,0 +1,107 @@
+"""Inline suppressions: ``# repro: noqa[RULE] -- justification``.
+
+The suppression contract is strict on purpose: a rule may only be
+silenced *per line*, *per rule id*, and *with a written justification*.
+A bare ``# repro: noqa[DET001]`` with no justification is itself a
+finding (:data:`NOQA_RULE_ID`), as is a suppression naming a rule the
+engine does not know — silent typos must not become silent holes.
+
+Accepted spellings (the separator before the justification may be
+``--``, ``—``, or ``:``; rule ids may be comma-separated)::
+
+    x = pool.pick()  # repro: noqa[DET001] -- seeded by the harness
+    t = clock()      # repro: noqa[DET002, ROB001]: bench-only wall clock
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.analysis.lint.findings import Finding
+
+NOQA_RULE_ID = "NOQA001"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\s*\[(?P<rules>[^\]]*)\]\s*(?:(?:--|—|:)\s*)?(?P<why>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: noqa[...]`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id in self.rules
+
+
+def parse_suppressions(
+    source: str, path: str, known_rules: frozenset[str]
+) -> tuple[dict[int, Suppression], list[Finding]]:
+    """All suppressions in ``source`` plus the findings they earn.
+
+    Returns ``(by_line, findings)``: ``by_line`` maps a 1-based line
+    number to its suppression (one per line; the comment grammar only
+    allows one), and ``findings`` carries a :data:`NOQA_RULE_ID` entry
+    for each malformed suppression — empty rule list, unknown rule id,
+    or missing justification.
+    """
+    by_line: dict[int, Suppression] = {}
+    findings: list[Finding] = []
+
+    def bad(line: int, col: int, message: str) -> None:
+        findings.append(
+            Finding(path=path, line=line, col=col, rule=NOQA_RULE_ID,
+                    message=message)
+        )
+
+    for lineno, col, comment in _comments(source):
+        match = _NOQA_RE.search(comment)
+        if match is None:
+            continue
+        col += match.start()
+        rules = tuple(
+            token.strip() for token in match.group("rules").split(",")
+            if token.strip()
+        )
+        justification = match.group("why").strip()
+        if not rules:
+            bad(lineno, col, "suppression names no rule: use `# repro: "
+                             "noqa[RULE] -- justification`")
+            continue
+        unknown = [rule for rule in rules if rule not in known_rules]
+        for rule in unknown:
+            bad(lineno, col, f"suppression names unknown rule {rule!r}")
+        if not justification:
+            bad(lineno, col,
+                f"suppression of {', '.join(rules)} lacks a justification "
+                "(append `-- why this is safe`)")
+            continue
+        if unknown:
+            continue
+        by_line[lineno] = Suppression(lineno, rules, justification)
+    return by_line, findings
+
+
+def _comments(source: str):
+    """``(line, col, text)`` for every real comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps noqa markers
+    inside string literals — docstrings quoting the syntax, rule explain
+    text — from parsing as live suppressions.  Callers lint only files
+    that already passed ``ast.parse``, so tokenization cannot fail; the
+    guard is belt-and-braces for direct use on arbitrary text.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError):
+        return

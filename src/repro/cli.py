@@ -6,7 +6,10 @@ Covers the full pipeline without writing any Python:
 * ``train``    — fit the LiBRA forest on a saved dataset, save the model;
 * ``evaluate`` — replay a saved dataset against LiBRA/heuristics/oracle;
 * ``cots``     — run one §3 motivation session and print its story;
-* ``inspect``  — summarise a ``--trace`` decision-trace JSONL.
+* ``inspect``  — summarise a ``--trace`` decision-trace JSONL (or a
+  ``repro lint --format json`` report);
+* ``lint``     — the AST-based determinism & contract linter
+  (see ``docs/static-analysis.md``).
 
 ``dataset`` and ``evaluate`` accept ``--trace PATH`` (structured JSONL
 events) and ``--metrics`` (a counters/spans report on stderr-free
@@ -24,11 +27,11 @@ import numpy as np
 
 def _package_version() -> str:
     """The installed distribution version, falling back to the source tree."""
-    try:
-        from importlib.metadata import version
+    from importlib.metadata import PackageNotFoundError, version
 
+    try:
         return version("repro")
-    except Exception:
+    except PackageNotFoundError:
         from repro import __version__
 
         return __version__
@@ -142,9 +145,60 @@ def _add_chaos_parser(subparsers) -> None:
 
 def _add_inspect_parser(subparsers) -> None:
     parser = subparsers.add_parser(
-        "inspect", help="summarise a decision-trace JSONL (from --trace)"
+        "inspect",
+        help="summarise a decision-trace JSONL (from --trace) or a lint report",
     )
-    parser.add_argument("trace", help="JSONL trace written by `--trace PATH`")
+    parser.add_argument(
+        "trace",
+        help="JSONL trace from `--trace PATH`, or a `repro lint --format "
+        "json` report",
+    )
+
+
+def _add_lint_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "lint",
+        help="run the determinism & contract linter over python sources",
+        description="AST-based static analysis for the repo's reproducibility "
+        "contracts (unseeded RNG, wall-clock reads, hash-order leaks, "
+        "swallowed faults, untyped trace events, mutable defaults); see "
+        "docs/static-analysis.md",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the `paths` list in "
+        "[tool.repro.lint])",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--rules", action="append", metavar="RULES",
+        help="comma-separated rule ids to run (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="ratcheting baseline: findings budgeted here do not fail the "
+        "run (default: the `baseline` path in [tool.repro.lint], if present)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline FILE from the current findings (prunes "
+        "fixed entries; the run itself exits 0)",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE",
+        help="also write the JSON report to FILE (independent of --format)",
+    )
+    parser.add_argument(
+        "--explain", metavar="RULE",
+        help="print one rule's rationale with bad/good examples, then exit",
+    )
+    parser.add_argument(
+        "--version", action="store_true",
+        help="print the rule-pack version stamp and rule listing, then exit",
+    )
 
 
 def _add_cots_parser(subparsers) -> None:
@@ -176,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cots_parser(subparsers)
     _add_chaos_parser(subparsers)
     _add_inspect_parser(subparsers)
+    _add_lint_parser(subparsers)
     return parser
 
 
@@ -399,9 +454,26 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_inspect(args) -> int:
+    import json
+
+    from repro.analysis.lint import is_lint_report, summarize_lint_report
     from repro.obs.inspect import summarize_trace
     from repro.obs.trace import read_trace
 
+    # A lint report is one JSON document stamped with the rule-pack
+    # version; a decision trace is one event per line.  Try the report
+    # shape first — a multi-line trace fails json.loads and falls through.
+    try:
+        with open(args.trace) as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        return _fail(str(error))
+    except json.JSONDecodeError:
+        payload = None
+    if is_lint_report(payload):
+        for line in summarize_lint_report(payload):
+            print(line)
+        return 0
     try:
         lines = summarize_trace(read_trace(args.trace))
     except (OSError, ValueError) as error:
@@ -409,6 +481,73 @@ def _cmd_inspect(args) -> int:
     for line in lines:
         print(line)
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import (
+        Baseline,
+        LintUsageError,
+        explain_rule,
+        format_json,
+        format_text,
+        rule_pack_lines,
+        run_lint,
+    )
+
+    if args.version:
+        for line in rule_pack_lines():
+            print(line)
+        return 0
+    if args.explain:
+        try:
+            page = explain_rule(args.explain)
+        except KeyError:
+            return _fail(f"unknown rule {args.explain!r} (try `repro lint "
+                         "--version` for the pack listing)")
+        print(page)
+        return 0
+    if args.update_baseline and not args.baseline:
+        return _fail("--update-baseline requires --baseline FILE")
+    rules = None
+    if args.rules:
+        rules = [
+            rule.strip()
+            for chunk in args.rules for rule in chunk.split(",")
+            if rule.strip()
+        ]
+    baseline_path = args.baseline
+    if (args.update_baseline and baseline_path is not None
+            and not Path(baseline_path).is_file()):
+        baseline_path = None  # creating the baseline on this run
+    try:
+        report, _engine = run_lint(
+            args.paths, rules=rules, baseline_path=baseline_path
+        )
+    except LintUsageError as error:
+        return _fail(str(error))
+    if args.format == "json":
+        print(format_json(report))
+    else:
+        for line in format_text(report):
+            print(line)
+    if args.out:
+        try:
+            Path(args.out).write_text(format_json(report) + "\n")
+        except OSError as error:
+            return _fail(f"cannot write report '{args.out}': {error}")
+        if args.format != "json":
+            print(f"json report written to {args.out}")
+    if args.update_baseline:
+        baseline = Baseline.from_findings(report.findings)
+        try:
+            baseline.save(Path(args.baseline))
+        except OSError as error:
+            return _fail(f"cannot write baseline '{args.baseline}': {error}")
+        print(f"baseline updated: {len(baseline)} entrie(s) -> {args.baseline}")
+        return 0
+    return report.exit_code
 
 
 def _cmd_cots(args) -> int:
@@ -490,6 +629,7 @@ _COMMANDS = {
     "cots": _cmd_cots,
     "chaos": _cmd_chaos,
     "inspect": _cmd_inspect,
+    "lint": _cmd_lint,
 }
 
 

@@ -36,6 +36,7 @@ from repro.core.policies import (
     Observation,
     PolicyDecision,
 )
+from repro.obs.metrics import get_metrics
 
 
 class Classifier(Protocol):
@@ -87,7 +88,8 @@ class LiBRA(LinkAdaptationPolicy):
             prediction = self.model.predict(
                 observation.features.to_array().reshape(1, -1)
             )[0]
-        except Exception as error:  # noqa: BLE001 — any model failure degrades
+        except Exception as error:  # isolation boundary: any model failure degrades
+            get_metrics().counter("libra.model_error").inc()
             return self._degrade(
                 observation, f"model error ({type(error).__name__}: {error})"
             )
@@ -124,7 +126,11 @@ class LiBRA(LinkAdaptationPolicy):
                 predictions = self.model.predict(np.stack(rows))
                 if len(predictions) != len(where):
                     raise ValueError("prediction count mismatch")
-            except Exception:  # noqa: BLE001 — replay the scalar degradation
+            except Exception:  # isolation boundary: replay the scalar degradation
+                # The per-row decide() calls below count each model error;
+                # this counter marks that the *batched* call was the one
+                # that failed (a shape/stacking bug, not a model bug).
+                get_metrics().counter("libra.batch_predict_error").inc()
                 for index in where:
                     decisions[index] = self.decide(observations[index])
             else:

@@ -40,7 +40,7 @@ from repro.core.ground_truth import Action
 from repro.core.policies import LinkAdaptationPolicy, Observation, PolicyDecision
 from repro.dataset.entry import DatasetEntry
 from repro.obs.events import FlowEvent, RepairStep
-from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, get_metrics
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.sim.engine import FlowResult, SimulationConfig
 from repro.sim.oracle import OracleData, OracleDelay
@@ -292,7 +292,10 @@ class BatchFlowSimulator:
         observation = self.observation(entry)
         try:
             return policy.decide(observation)
-        except Exception as error:  # noqa: BLE001 — a crashing policy must not kill the run
+        except Exception as error:  # isolation boundary: a crashing policy must not kill the run
+            # Same counter, same registry as the scalar engine's handler —
+            # this path replays its semantics, evidence trail included.
+            get_metrics().counter("sim.policy_decide_error").inc()
             rule = policy.decide(observation.degraded())
             return PolicyDecision(
                 rule.action,
@@ -450,8 +453,10 @@ def batch_decisions(
             if len(decisions) != len(entries):
                 raise ValueError("decision count mismatch")
             return decisions
-        except Exception:  # noqa: BLE001 — fall back to the scalar semantics
-            pass
+        except Exception:  # isolation boundary: fall back to the scalar semantics
+            # Counted on the process-wide registry so a misbehaving batch
+            # method is visible even though the run degrades gracefully.
+            get_metrics().counter("sim.batch_decide_fallback").inc()
     return [simulator._decide_one(policy, entry, duration_s) for entry in entries]
 
 

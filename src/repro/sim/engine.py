@@ -35,7 +35,7 @@ from repro.core.policies import LinkAdaptationPolicy, Observation, PolicyDecisio
 from repro.core.rate_adaptation import RateAdaptation
 from repro.dataset.entry import DatasetEntry
 from repro.obs.events import FlowEvent, RepairStep
-from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, get_metrics
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.sim.timeline import Segment, Timeline
 
@@ -189,9 +189,12 @@ def simulate_flow(
     observation = observation_from_entry(entry, config)
     try:
         decision = policy.decide(observation)
-    except Exception as error:  # noqa: BLE001 — a crashing policy must not kill the run
-        # Retry with the feedback discarded: the degraded observation is
+    except Exception as error:  # isolation boundary: a crashing policy must not kill the run
+        # Count the degradation on the process-wide registry (never the
+        # per-call one: scalar/batch metric parity compares those), then
+        # retry with the feedback discarded — the degraded observation is
         # the missing-ACK shape every policy must handle (§7).
+        get_metrics().counter("sim.policy_decide_error").inc()
         rule = policy.decide(observation.degraded())
         decision = PolicyDecision(
             rule.action,

@@ -41,6 +41,7 @@ from repro.mac.sls import (
     sweep_with_retry,
 )
 from repro.obs.events import FaultEvent
+from repro.obs.metrics import get_metrics
 from repro.obs.trace import NULL_RECORDER, TraceRecorder
 from repro.phy.blockage import HumanBlocker
 from repro.phy.error_model import phy_rate_mbps
@@ -491,7 +492,10 @@ class LiveSession:
             )
             try:
                 decision = self.policy.decide(observation)
-            except Exception as error:  # noqa: BLE001 — stay alive, degrade
+            except Exception as error:  # isolation boundary: stay alive, degrade
+                # Counted before degrading; the fallback FaultEvent below
+                # then records *what* the session did about it.
+                get_metrics().counter("live.policy_decide_error").inc()
                 rule = self.policy.decide(observation.degraded())
                 decision = PolicyDecision(
                     rule.action,

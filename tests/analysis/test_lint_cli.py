@@ -1,0 +1,269 @@
+"""Linter CLI behavior: formats, exit codes, baseline ratchet, explain,
+policy discovery — and the repo's own sources linting clean."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN_SOURCE = "def add(a, b):\n    return a + b\n"
+DIRTY_SOURCE = (
+    "import numpy as np\n"
+    "\n"
+    "rng = np.random.default_rng()\n"
+)
+DIRTY_TWO_FINDINGS = DIRTY_SOURCE + (
+    "\n"
+    "def run(acc=[]):\n"
+    "    return acc\n"
+)
+
+
+@pytest.fixture
+def project(tmp_path):
+    """A tiny lintable project with no [tool.repro.lint] table."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    return tmp_path
+
+
+def write(root, name, source):
+    path = root / name
+    path.write_text(source)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, project, capsys):
+        write(project, "ok.py", CLEAN_SOURCE)
+        assert main(["lint", str(project)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, project, capsys):
+        write(project, "bad.py", DIRTY_SOURCE)
+        assert main(["lint", str(project)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nowhere")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, project, capsys):
+        write(project, "ok.py", CLEAN_SOURCE)
+        assert main(["lint", str(project), "--rules", "NOPE01"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_no_paths_and_no_policy_default_exits_two(self, project, capsys, monkeypatch):
+        monkeypatch.chdir(project)
+        assert main(["lint"]) == 2
+        assert "no paths" in capsys.readouterr().err
+
+    def test_rules_filter_passes_other_findings(self, project):
+        write(project, "bad.py", DIRTY_SOURCE)
+        assert main(["lint", str(project), "--rules", "ROB001,API001"]) == 0
+
+
+class TestJsonFormat:
+    def test_schema(self, project, capsys):
+        write(project, "bad.py", DIRTY_TWO_FINDINGS)
+        assert main(["lint", str(project), "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == 1
+        assert isinstance(report["rule_pack_version"], int)
+        assert {r["id"] for r in report["rules"]} >= {"DET001", "API001"}
+        for entry in report["rules"]:
+            assert set(entry) == {"id", "title", "severity"}
+        assert report["summary"]["files"] == 1
+        assert report["summary"]["active"] == 2
+        assert report["summary"]["baselined"] == 0
+        findings = report["findings"]
+        # sorted by (path, line, col): DET001 on line 3, API001 on line 5
+        assert [f["rule"] for f in findings] == ["DET001", "API001"]
+        for finding in findings:
+            assert set(finding) == {
+                "rule", "severity", "path", "line", "col", "message",
+                "baselined",
+            }
+            assert finding["line"] >= 1
+
+    def test_out_writes_json_alongside_text(self, project, capsys):
+        write(project, "bad.py", DIRTY_SOURCE)
+        out = project / "report.json"
+        assert main(["lint", str(project), "--out", str(out)]) == 1
+        report = json.loads(out.read_text())
+        assert report["summary"]["active"] == 1
+        assert "json report written" in capsys.readouterr().out
+
+
+class TestBaselineRatchet:
+    def run_lint(self, project, *extra):
+        return main(["lint", str(project), *extra])
+
+    def test_baselined_finding_passes(self, project, capsys):
+        write(project, "bad.py", DIRTY_SOURCE)
+        baseline = project / "baseline.json"
+        assert self.run_lint(
+            project, "--baseline", str(baseline), "--update-baseline"
+        ) == 0
+        assert "baseline updated: 1" in capsys.readouterr().out
+        assert self.run_lint(project, "--baseline", str(baseline)) == 0
+        assert "(baselined)" in capsys.readouterr().out
+
+    def test_new_finding_fails_despite_baseline(self, project, capsys):
+        write(project, "bad.py", DIRTY_SOURCE)
+        baseline = project / "baseline.json"
+        self.run_lint(project, "--baseline", str(baseline), "--update-baseline")
+        capsys.readouterr()
+        write(project, "worse.py", "def f(acc=[]):\n    return acc\n")
+        assert self.run_lint(project, "--baseline", str(baseline)) == 1
+        out = capsys.readouterr().out
+        assert "API001" in out
+
+    def test_fixed_finding_reports_stale_and_prunes(self, project, capsys):
+        bad = write(project, "bad.py", DIRTY_SOURCE)
+        baseline = project / "baseline.json"
+        self.run_lint(project, "--baseline", str(baseline), "--update-baseline")
+        capsys.readouterr()
+        bad.write_text(CLEAN_SOURCE)  # the fix
+        assert self.run_lint(project, "--baseline", str(baseline)) == 0
+        assert "stale baseline" in capsys.readouterr().out
+        assert self.run_lint(
+            project, "--baseline", str(baseline), "--update-baseline"
+        ) == 0
+        capsys.readouterr()
+        entries = json.loads(baseline.read_text())["entries"]
+        assert entries == {}  # the ratchet only tightens
+
+    def test_update_requires_explicit_baseline(self, project, capsys):
+        write(project, "ok.py", CLEAN_SOURCE)
+        assert self.run_lint(project, "--update-baseline") == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_corrupt_baseline_exits_two(self, project, capsys):
+        write(project, "ok.py", CLEAN_SOURCE)
+        baseline = write(project, "baseline.json", "not json")
+        assert self.run_lint(project, "--baseline", str(baseline)) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_json_report_marks_baselined(self, project, capsys):
+        write(project, "bad.py", DIRTY_SOURCE)
+        baseline = project / "baseline.json"
+        self.run_lint(project, "--baseline", str(baseline), "--update-baseline")
+        capsys.readouterr()
+        assert self.run_lint(
+            project, "--baseline", str(baseline), "--format", "json"
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [f["baselined"] for f in report["findings"]] == [True]
+        assert report["summary"]["baselined"] == 1
+
+
+class TestExplainAndVersion:
+    def test_explain_known_rule(self, capsys):
+        assert main(["lint", "--explain", "ROB001"]) == 0
+        page = capsys.readouterr().out
+        assert "ROB001" in page
+        assert "Bad:" in page and "Good:" in page
+
+    def test_every_registered_rule_explains(self, capsys):
+        from repro.analysis.lint import REGISTRY
+
+        for rule_id in REGISTRY:
+            assert main(["lint", "--explain", rule_id]) == 0
+            page = capsys.readouterr().out
+            assert rule_id in page
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--explain", "XXX999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_version_stamp_lists_rule_pack(self, capsys):
+        from repro.analysis.lint import REGISTRY, RULE_PACK_VERSION
+
+        assert main(["lint", "--version"]) == 0
+        out = capsys.readouterr().out
+        assert f"rule-pack v{RULE_PACK_VERSION}" in out
+        for rule_id in REGISTRY:
+            assert rule_id in out
+
+
+class TestInspectIntegration:
+    def test_inspect_renders_lint_report(self, project, capsys):
+        write(project, "bad.py", DIRTY_SOURCE)
+        out = project / "report.json"
+        main(["lint", str(project), "--out", str(out)])
+        capsys.readouterr()
+        assert main(["inspect", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "lint report (rule pack v" in rendered
+        assert "DET001" in rendered
+        assert "active findings:" in rendered
+
+    def test_inspect_non_lint_json_falls_through_to_trace_reader(
+        self, tmp_path, capsys
+    ):
+        # A single-object JSON file that is NOT a lint report must fall
+        # through to the JSONL trace reader, not the lint renderer.
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text('{"type": "unknown-event", "v": 1}\n')
+        assert main(["inspect", str(trace)]) == 0
+        rendered = capsys.readouterr().out
+        assert "lint report" not in rendered
+        assert "events" in rendered
+
+
+class TestPolicyDiscovery:
+    def test_pyproject_policy_applies(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.lint]\n"
+            'rules = ["API001"]\n'
+            'paths = ["pkg"]\n'
+        )
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        write(pkg, "bad.py", DIRTY_SOURCE)  # DET001, but pack is API001-only
+        assert main(["lint", str(pkg)]) == 0
+
+    def test_policy_default_paths_used(self, tmp_path, capsys, monkeypatch):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.lint]\npaths = [\"pkg\"]\n"
+        )
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        write(pkg, "bad.py", DIRTY_SOURCE)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint"]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_policy_baseline_used_when_present(self, tmp_path, monkeypatch):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.lint]\nbaseline = \"baseline.json\"\n"
+        )
+        write(tmp_path, "bad.py", DIRTY_SOURCE)
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["lint", str(tmp_path), "--baseline",
+             str(tmp_path / "baseline.json"), "--update-baseline"]
+        ) == 0
+        # No --baseline flag: the policy's file is picked up from the root.
+        assert main(["lint", str(tmp_path)]) == 0
+
+    def test_malformed_policy_exits_two(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro.lint]\nfrobnicate = true\n"
+        )
+        write(tmp_path, "ok.py", CLEAN_SOURCE)
+        assert main(["lint", str(tmp_path)]) == 2
+        assert "unknown keys" in capsys.readouterr().err
+
+
+class TestSelfLint:
+    """The acceptance gate: this repository's own sources are clean."""
+
+    def test_repo_src_lints_clean(self, capsys):
+        assert (REPO_ROOT / "src" / "repro").is_dir()
+        assert main(["lint", str(REPO_ROOT / "src")]) == 0
+        assert " 0 finding(s)" in capsys.readouterr().out
